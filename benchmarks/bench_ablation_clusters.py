@@ -1,0 +1,58 @@
+"""Ablation A3 — the Sec. IV-A cluster-count rule.
+
+Sweeps k and reports min nearest-cluster fidelity + offline cost, showing
+the 0.95 rule's operating point: fidelity rises with k while offline
+training cost grows linearly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core import KMeans, min_nearest_fidelity
+from repro.core.ansatz import EnQodeAnsatz
+from repro.core.objective import FidelityObjective
+from repro.core.optimizer import LBFGSOptimizer
+from repro.core.symbolic import build_symbolic
+from repro.utils.timing import Timer
+
+K_SWEEP = (1, 2, 4, 8, 16)
+
+
+def _sweep(context):
+    dataset = context.datasets["mnist"]
+    block = dataset.class_slice(int(dataset.classes()[0]))
+    ansatz = EnQodeAnsatz(8, 8)
+    symbolic = build_symbolic(ansatz)
+    optimizer = LBFGSOptimizer(num_restarts=2, seed=0, max_iterations=800)
+    rows = []
+    for k in K_SWEEP:
+        model = KMeans(k, seed=0).fit(block)
+        nn_fid = min_nearest_fidelity(block, model.centers_)
+        with Timer() as timer:
+            for center in model.centers_:
+                center = center / np.linalg.norm(center)
+                optimizer.optimize(
+                    FidelityObjective(symbolic, ansatz, center)
+                )
+        rows.append((k, nn_fid, timer.elapsed))
+    return rows
+
+
+def test_ablation_cluster_budget(benchmark, context):
+    rows = benchmark.pedantic(lambda: _sweep(context), rounds=1, iterations=1)
+    lines = [
+        "Ablation A3 — clusters vs nearest fidelity vs offline cost",
+        f"{'k':>4}{'min nn fidelity':>18}{'offline train (s)':>20}",
+    ]
+    for k, fid, seconds in rows:
+        lines.append(f"{k:>4d}{fid:>18.3f}{seconds:>20.2f}")
+    publish("ablation_clusters", "\n".join(lines))
+
+    fidelities = [fid for _, fid, _ in rows]
+    times = [seconds for _, _, seconds in rows]
+    # Nearest-cluster fidelity improves with k ...
+    assert fidelities[-1] > fidelities[0]
+    # ... while offline cost grows with k (roughly linearly).
+    assert times[-1] > times[0]
+    # And even k=16 stays far below the paper's 200 s budget.
+    assert times[-1] < 200.0

@@ -1,0 +1,52 @@
+"""Ablation A1 — ansatz depth: fidelity vs number of layers.
+
+Sec. IV-A fixes 8 layers for 8 qubits.  This sweep shows why: fidelity
+saturates around L=8 while transpiled depth keeps growing linearly, so 8
+is the knee of the fidelity/depth trade-off.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.core import EnQodeAnsatz, FidelityObjective, LBFGSOptimizer, build_symbolic
+from repro.transpile import transpile
+
+LAYER_SWEEP = (2, 4, 8, 12)
+
+
+def _mean_target(context):
+    dataset = context.datasets["mnist"]
+    block = dataset.class_slice(int(dataset.classes()[0]))
+    mean = block.mean(axis=0)
+    return mean / np.linalg.norm(mean)
+
+
+def _sweep(context):
+    target = _mean_target(context)
+    rows = []
+    for layers in LAYER_SWEEP:
+        ansatz = EnQodeAnsatz(8, layers)
+        objective = FidelityObjective(build_symbolic(ansatz), ansatz, target)
+        result = LBFGSOptimizer(num_restarts=4, seed=0).optimize(objective)
+        transpiled = transpile(ansatz.circuit(result.theta), context.backend)
+        rows.append((layers, result.fidelity, transpiled.metrics().depth))
+    return rows
+
+
+def test_ablation_layer_sweep(benchmark, context):
+    rows = benchmark.pedantic(lambda: _sweep(context), rounds=1, iterations=1)
+    lines = [
+        "Ablation A1 — layers vs fidelity vs transpiled depth",
+        f"{'layers':>8}{'fidelity':>12}{'depth':>8}",
+    ]
+    for layers, fidelity, depth in rows:
+        lines.append(f"{layers:>8d}{fidelity:>12.3f}{depth:>8d}")
+    publish("ablation_layers", "\n".join(lines))
+
+    fidelities = {layers: f for layers, f, _ in rows}
+    depths = {layers: d for layers, _, d in rows}
+    # More layers never reduces reachable fidelity (monotone-ish family).
+    assert fidelities[8] >= fidelities[2] - 0.02
+    # Depth grows with layers; fidelity saturates near the paper's L=8.
+    assert depths[12] > depths[8] > depths[4]
+    assert fidelities[12] - fidelities[8] < 0.1

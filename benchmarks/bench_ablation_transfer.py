@@ -1,0 +1,49 @@
+"""Ablation A5 — transfer learning vs cold-start online embedding.
+
+Sec. III-D: initializing each sample's optimization from its nearest
+cluster's trained parameters is what makes online embedding fast *and*
+uniform.  Contrast: same iteration budget, random initialization.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+
+
+def _sweep(context):
+    encoder = context.encoders["mnist"]
+    samples = context.samples("mnist", 8)
+    transfer = encoder._transfer
+    warm_rows, cold_rows = [], []
+    for i, sample in enumerate(samples):
+        sample = sample / np.linalg.norm(sample)
+        warm = transfer.embed(sample)
+        cold = transfer.embed_cold(sample, seed=i)
+        warm_rows.append((warm.fidelity, warm.result.num_iterations))
+        cold_rows.append((cold.fidelity, cold.result.num_iterations))
+    return warm_rows, cold_rows
+
+
+def test_ablation_transfer_learning(benchmark, context):
+    warm_rows, cold_rows = benchmark.pedantic(
+        lambda: _sweep(context), rounds=1, iterations=1
+    )
+    warm_fid = np.mean([f for f, _ in warm_rows])
+    cold_fid = np.mean([f for f, _ in cold_rows])
+    warm_iters = np.mean([i for _, i in warm_rows])
+    cold_iters = np.mean([i for _, i in cold_rows])
+    publish(
+        "ablation_transfer",
+        "\n".join(
+            [
+                "Ablation A5 — warm (transfer) vs cold online embedding",
+                f"{'init':<18}{'mean fidelity':>15}{'mean iterations':>18}",
+                f"{'nearest cluster':<18}{warm_fid:>15.3f}{warm_iters:>18.1f}",
+                f"{'random':<18}{cold_fid:>15.3f}{cold_iters:>18.1f}",
+            ]
+        ),
+    )
+    # Transfer learning reaches at least the cold-start quality with
+    # fewer optimizer iterations (the latency-uniformity argument).
+    assert warm_fid >= cold_fid - 0.02
+    assert warm_iters <= cold_iters

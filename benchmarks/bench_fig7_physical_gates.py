@@ -1,0 +1,31 @@
+"""Fig. 7 — physical one-qubit and two-qubit gate counts (E3, E4).
+
+Paper claims: >11x fewer one-qubit and >12x fewer two-qubit physical
+gates, again with zero variability for EnQode.
+"""
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_fig7, run_fig7
+
+
+def test_fig7_physical_gate_counts(benchmark, context, sweep):
+    results = benchmark.pedantic(
+        lambda: run_fig7(context, sweep), rounds=1, iterations=1
+    )
+    publish("fig7", render_fig7(results))
+
+    for dataset, methods in results.items():
+        enqode = methods["enqode"]
+        baseline = methods["baseline"]
+        assert enqode["one_qubit_gates"].std == 0.0
+        assert enqode["two_qubit_gates"].std == 0.0
+        assert (
+            baseline["one_qubit_gates"].mean / enqode["one_qubit_gates"].mean
+            > 11.0
+        )
+        assert (
+            baseline["two_qubit_gates"].mean / enqode["two_qubit_gates"].mean
+            > 12.0
+        )
+        # The fixed ansatz: 28 CY bricks -> exactly 28 ECR on 8 qubits.
+        assert enqode["two_qubit_gates"].mean == 28.0

@@ -1,0 +1,29 @@
+"""Fig. 9(a) — online compilation time (E7).
+
+Paper claims: EnQode's online compile time is comparable to (not worse
+than) the Baseline's with ~3x smaller standard deviation, because every
+sample runs the same fixed-shape pipeline warm-started from its cluster.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_fig9a, run_fig9a
+
+
+def test_fig9a_online_compile_time(benchmark, context, sweep):
+    results = benchmark.pedantic(
+        lambda: run_fig9a(context, sweep), rounds=1, iterations=1
+    )
+    publish("fig9a", render_fig9a(results))
+
+    std_ratios = []
+    for dataset, methods in results.items():
+        baseline = methods["baseline"]["compile_time"]
+        enqode = methods["enqode"]["compile_time"]
+        # EnQode is not slower on average (in this stack it is faster).
+        assert enqode.mean <= baseline.mean
+        if enqode.std > 0:
+            std_ratios.append(baseline.std / enqode.std)
+    # Spread reduction in the paper's ~3x territory on average.
+    assert np.mean(std_ratios) > 1.5

@@ -1,0 +1,23 @@
+"""Fig. 9(b) — EnQode offline vs online compilation time (E8).
+
+Paper claims: the one-time offline phase (clustering + per-cluster ansatz
+training) costs < 200 s per dataset and class; online embedding stays
+fast.  The offline numbers here come from the encoders fitted during
+context construction.
+"""
+
+from benchmarks.conftest import publish
+from repro.evaluation import render_fig9b, run_fig9b
+
+
+def test_fig9b_offline_vs_online(benchmark, context):
+    results = benchmark.pedantic(
+        lambda: run_fig9b(context), rounds=1, iterations=1
+    )
+    publish("fig9b", render_fig9b(results))
+
+    for dataset, row in results.items():
+        assert row["offline_total"] < 200.0  # the paper's bound
+        assert row["online"].mean < 1.0
+        assert row["online"].mean < row["offline_total"]
+        assert row["num_clusters"] >= 1

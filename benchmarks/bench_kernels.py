@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the stack's hot kernels.
+
+These are proper pytest-benchmark timings (many rounds) of the operations
+the figure experiments spend their time in: statevector evolution, noisy
+density-matrix steps, symbolic objective evaluation, exact synthesis, and
+transpilation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline import mottonen_circuit
+from repro.core import EnQodeAnsatz, FidelityObjective, build_symbolic
+from repro.quantum import (
+    DensityMatrix,
+    QuantumCircuit,
+    Statevector,
+    depolarizing_channel,
+    random_real_amplitudes,
+)
+from repro.transpile import transpile
+
+
+@pytest.fixture(scope="module")
+def ansatz_circuit():
+    ansatz = EnQodeAnsatz(8, 8)
+    theta = np.random.default_rng(0).uniform(-np.pi, np.pi, 64)
+    return ansatz.circuit(theta)
+
+
+def test_statevector_evolution_8q(benchmark, ansatz_circuit):
+    benchmark(lambda: Statevector.zero_state(8).evolve(ansatz_circuit))
+
+
+def test_density_matrix_unitary_step_8q(benchmark):
+    rho = DensityMatrix.zero_state(8)
+    from repro.quantum import gate
+
+    ecr = gate("ecr").matrix
+    benchmark(lambda: rho.apply_unitary(ecr, (3, 4)))
+
+
+def test_density_matrix_channel_step_8q(benchmark):
+    rho = DensityMatrix.zero_state(8)
+    channel = depolarizing_channel(0.01, 2)
+    channel.superoperator_tensor()  # warm the cache
+    benchmark(lambda: rho.apply_channel(channel, (3, 4)))
+
+
+def test_symbolic_objective_evaluation(benchmark):
+    ansatz = EnQodeAnsatz(8, 8)
+    objective = FidelityObjective(
+        build_symbolic(ansatz), ansatz, random_real_amplitudes(256, seed=0)
+    )
+    theta = np.random.default_rng(1).uniform(-np.pi, np.pi, 64)
+    benchmark(lambda: objective.value_and_grad(theta))
+
+
+def test_symbolic_construction_8q_8l(benchmark):
+    ansatz = EnQodeAnsatz(8, 8)
+    benchmark(lambda: build_symbolic(ansatz))
+
+
+def test_mottonen_synthesis_256(benchmark):
+    target = random_real_amplitudes(256, seed=2)
+    benchmark(lambda: mottonen_circuit(target))
+
+
+def test_transpile_enqode_ansatz(benchmark, segment8_bench, ansatz_circuit):
+    benchmark(lambda: transpile(ansatz_circuit, segment8_bench))
+
+
+def test_transpile_baseline_circuit(benchmark, segment8_bench):
+    logical = mottonen_circuit(random_real_amplitudes(256, seed=3))
+    benchmark(lambda: transpile(logical, segment8_bench, seed=7))
+
+
+@pytest.fixture(scope="module")
+def segment8_bench():
+    from repro.hardware import brisbane_linear_segment
+
+    return brisbane_linear_segment(8)
+
+
+def test_kmeans_fit_500x256(benchmark):
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(500, 256))
+    from repro.core import KMeans
+
+    benchmark(lambda: KMeans(8, seed=0, num_init=1).fit(data))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the figure benchmarks.
+
+The :class:`ExperimentContext` (backend + datasets + fitted encoders) is
+built once per session; each ``bench_fig*`` file then regenerates one
+paper figure from it.  Rendered tables are printed *and* written to
+``benchmarks/output/`` so a plain ``pytest benchmarks/ --benchmark-only``
+run leaves the figure data on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import (
+    ExperimentConfig,
+    ExperimentContext,
+    circuit_metrics_sweep,
+)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Benchmark-scale configuration: large enough for stable means, small
+#: enough for a laptop run (the noisy sweep is the long pole).
+BENCH_CONFIG = ExperimentConfig(
+    samples_per_class=60,
+    num_metric_samples=8,
+    num_fidelity_samples=6,
+    num_noisy_samples=3,
+)
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def sweep(context):
+    return circuit_metrics_sweep(context)
+
+
+def publish(name: str, table: str) -> None:
+    """Print a figure table and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(table + "\n")
+    print("\n" + table)

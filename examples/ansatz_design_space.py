@@ -1,0 +1,76 @@
+"""Explore the EnQode ansatz design space (Sec. III-A design choices).
+
+Sweeps the three design axes the paper discusses — entangler gate, layer
+count, and the alternating arrangement — and prints achievable fidelity on
+a real cluster-mean target plus the transpiled hardware cost of each
+variant.  Reproduces the reasoning behind the published configuration
+(8 layers of CY bricks in an alternating arrangement) and surfaces this
+reproduction's finding that the *orientation* alternation is what keeps
+the CY phases trainable.
+
+Run:  python examples/ansatz_design_space.py
+"""
+
+import numpy as np
+
+from repro import brisbane_linear_segment, load_dataset, transpile
+from repro.core import (
+    EnQodeAnsatz,
+    FidelityObjective,
+    LBFGSOptimizer,
+    build_symbolic,
+)
+
+
+def target_vector():
+    dataset = load_dataset("mnist", samples_per_class=80, seed=0)
+    block = dataset.class_slice(int(dataset.classes()[0]))
+    mean = block.mean(axis=0)
+    return mean / np.linalg.norm(mean)
+
+
+def evaluate(ansatz, target, backend, restarts=4):
+    objective = FidelityObjective(build_symbolic(ansatz), ansatz, target)
+    result = LBFGSOptimizer(num_restarts=restarts, seed=0).optimize(objective)
+    metrics = transpile(ansatz.circuit(result.theta), backend).metrics()
+    return result.fidelity, metrics
+
+
+def main() -> None:
+    backend = brisbane_linear_segment(8)
+    target = target_vector()
+
+    print("== entangler choice (8 layers, alternating arrangement) ==")
+    print(f"{'entangler':<12}{'fidelity':>10}{'depth':>8}{'2q':>6}{'1q':>6}")
+    for entangler in ("cy", "cry", "cx", "cz"):
+        ansatz = EnQodeAnsatz(8, 8, entangler)
+        fidelity, metrics = evaluate(ansatz, target, backend)
+        print(
+            f"{entangler:<12}{fidelity:>10.3f}{metrics.depth:>8}"
+            f"{metrics.two_qubit_gates:>6}{metrics.one_qubit_gates:>6}"
+        )
+
+    print("\n== orientation alternation (the load-bearing detail) ==")
+    for alternate in (True, False):
+        ansatz = EnQodeAnsatz(8, 8, "cy", alternate_orientation=alternate)
+        fidelity, _ = evaluate(ansatz, target, backend)
+        label = "alternating" if alternate else "fixed"
+        print(f"cy, {label:<12} fidelity {fidelity:.3f}")
+
+    print("\n== layer count (cy, alternating) ==")
+    print(f"{'layers':<8}{'params':>8}{'fidelity':>10}{'depth':>8}")
+    for layers in (2, 4, 6, 8, 10, 12):
+        ansatz = EnQodeAnsatz(8, layers)
+        fidelity, metrics = evaluate(ansatz, target, backend)
+        print(
+            f"{layers:<8}{ansatz.num_parameters:>8}{fidelity:>10.3f}"
+            f"{metrics.depth:>8}"
+        )
+    print(
+        "\nfidelity saturates near 8 layers while depth keeps growing — "
+        "the paper's operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Noise-uniformity study: why *consistent* circuits matter (paper Fig. 1).
+
+The paper's second argument against exact AE is not just average error but
+error *variability*: every sample compiles to a different-depth circuit,
+so samples face different noise levels, biasing downstream QML.  This
+study quantifies both effects on one synthetic-MNIST class:
+
+* per-sample noisy fidelity spread (std) for Baseline vs EnQode;
+* per-sample circuit duration spread (ASAP schedule on calibrated gate
+  times) — the decoherence-exposure proxy.
+
+Run:  python examples/noise_consistency_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    BaselineStatePreparation,
+    EnQodeConfig,
+    EnQodeEncoder,
+    brisbane_linear_segment,
+    load_dataset,
+    state_fidelity,
+)
+from repro.quantum import DensityMatrixSimulator
+from repro.transpile import schedule_duration
+
+NUM_SAMPLES = 6
+
+
+def main() -> None:
+    backend = brisbane_linear_segment(8)
+    dataset = load_dataset("mnist", samples_per_class=80, seed=0)
+    block = dataset.class_slice(int(dataset.classes()[0]))
+
+    encoder = EnQodeEncoder(backend, EnQodeConfig(seed=7))
+    encoder.fit(block)
+    baseline = BaselineStatePreparation(backend)
+    simulator = DensityMatrixSimulator(backend.noise_model())
+
+    rows = []
+    for sample in block[:NUM_SAMPLES]:
+        encoded = encoder.encode(sample)
+        prepared = baseline.prepare(sample)
+        rows.append(
+            {
+                "enqode_fid": state_fidelity(
+                    simulator.run(encoded.circuit), encoded.physical_target()
+                ),
+                "baseline_fid": state_fidelity(
+                    simulator.run(prepared.circuit), prepared.physical_target()
+                ),
+                "enqode_us": schedule_duration(encoded.circuit, backend) * 1e6,
+                "baseline_us": schedule_duration(prepared.circuit, backend)
+                * 1e6,
+                "enqode_depth": encoded.metrics().depth,
+                "baseline_depth": prepared.metrics().depth,
+            }
+        )
+
+    print(
+        f"{'sample':>6}{'EnQ fid':>9}{'Base fid':>10}"
+        f"{'EnQ dur(us)':>13}{'Base dur(us)':>14}"
+        f"{'EnQ depth':>11}{'Base depth':>12}"
+    )
+    for i, row in enumerate(rows):
+        print(
+            f"{i:>6}{row['enqode_fid']:>9.3f}{row['baseline_fid']:>10.4f}"
+            f"{row['enqode_us']:>13.1f}{row['baseline_us']:>14.1f}"
+            f"{row['enqode_depth']:>11d}{row['baseline_depth']:>12d}"
+        )
+
+    def stats(key):
+        values = np.array([row[key] for row in rows])
+        return values.mean(), values.std()
+
+    print("\nsummary (mean ± std):")
+    for key, label in [
+        ("enqode_fid", "EnQode noisy fidelity"),
+        ("baseline_fid", "Baseline noisy fidelity"),
+        ("enqode_us", "EnQode duration (us)"),
+        ("baseline_us", "Baseline duration (us)"),
+    ]:
+        mean, std = stats(key)
+        print(f"  {label:<26} {mean:10.4f} ± {std:.4f}")
+
+    enq_depths = {row["enqode_depth"] for row in rows}
+    base_depths = {row["baseline_depth"] for row in rows}
+    print(
+        f"\ndistinct circuit depths across samples: EnQode {len(enq_depths)} "
+        f"(always {enq_depths.pop()}), Baseline {len(base_depths)}"
+    )
+    print(
+        "EnQode's fixed-shape ansatz gives every sample the same noise "
+        "exposure; the Baseline's exposure is sample-dependent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""QML image classification on EnQode embeddings (the paper's Fig. 1 flow).
+
+Trains a variational quantum classifier to separate two synthetic-MNIST
+classes, with the classical images amplitude-embedded by EnQode.  The
+trained classifier is then re-evaluated on *noisy* embedded states with a
+finite shot budget and calibrated readout error, contrasting EnQode's
+uniform shallow circuits with the Baseline's deep exact circuits: the
+Baseline's decohered states leave a readout margin far below shot noise,
+so its accuracy collapses toward a coin flip — the paper's central
+motivation.
+
+Run:  python examples/qml_classification.py
+"""
+
+import numpy as np
+
+from repro import (
+    BaselineStatePreparation,
+    EnQodeConfig,
+    EnQodeEncoder,
+    brisbane_linear_segment,
+    load_dataset,
+)
+from repro.qml import QMLClassifier
+from repro.quantum import DensityMatrixSimulator, simulate_statevector
+from repro.quantum.measurement import backend_readout_errors, sample_counts
+
+TRAIN_PER_CLASS = 10
+TEST_PER_CLASS = 4
+SHOTS = 512
+
+
+def main() -> None:
+    backend = brisbane_linear_segment(8)
+    dataset = load_dataset("mnist", samples_per_class=80, seed=0)
+    class_a, class_b = (int(c) for c in dataset.classes()[:2])
+    print(f"classifying digit-like classes {class_a} vs {class_b}")
+
+    block_a = dataset.class_slice(class_a)
+    block_b = dataset.class_slice(class_b)
+
+    # Offline: one encoder per class, as in the paper (per dataset+class).
+    encoders = {}
+    for label, block in ((class_a, block_a), (class_b, block_b)):
+        encoder = EnQodeEncoder(backend, EnQodeConfig(seed=7))
+        report = encoder.fit(block)
+        encoders[label] = encoder
+        print(
+            f"  class {label}: {report.num_clusters} clusters, "
+            f"offline {report.total_time:.1f}s"
+        )
+
+    def embed(label: int, sample: np.ndarray):
+        return encoders[label].encode(sample)
+
+    # Build the training set of embedded statevectors (ideal simulation).
+    train, labels = [], []
+    for i in range(TRAIN_PER_CLASS):
+        for label, block in ((class_a, block_a), (class_b, block_b)):
+            encoded = embed(label, block[i])
+            train.append(simulate_statevector(encoded.circuit))
+            labels.append(0 if label == class_a else 1)
+    labels = np.asarray(labels)
+
+    model = QMLClassifier(8, num_layers=2, seed=1)
+    model.fit(train, labels, num_steps=150)
+    print(f"\ntrain accuracy (ideal states): {model.accuracy(train, labels):.2f}")
+
+    # Held-out evaluation: ideal + noisy EnQode + noisy Baseline.
+    simulator = DensityMatrixSimulator(backend.noise_model())
+    baseline = BaselineStatePreparation(backend)
+    test_states_ideal, test_states_noisy, base_states_noisy, test_labels = (
+        [],
+        [],
+        [],
+        [],
+    )
+    for i in range(TRAIN_PER_CLASS, TRAIN_PER_CLASS + TEST_PER_CLASS):
+        for label, block in ((class_a, block_a), (class_b, block_b)):
+            encoded = embed(label, block[i])
+            test_states_ideal.append(simulate_statevector(encoded.circuit))
+            test_states_noisy.append(simulator.run(encoded.circuit))
+            prepared = baseline.prepare(block[i])
+            base_states_noisy.append(simulator.run(prepared.circuit))
+            test_labels.append(0 if label == class_a else 1)
+    test_labels = np.asarray(test_labels)
+
+    def shot_accuracy(states, seed=0):
+        """Decide from <Z_0> estimated with finite shots + readout error."""
+        readout = backend_readout_errors(backend)
+        rng = np.random.default_rng(seed)
+        correct = 0
+        for state, label in zip(states, test_labels):
+            evolved = state.copy().evolve(model.vqc.circuit(model.theta))
+            counts = sample_counts(
+                evolved, shots=SHOTS, seed=rng, readout_errors=readout
+            )
+            decision = int(counts.expectation_z(0) < 0.0)
+            correct += decision == label
+        return correct / len(states)
+
+    print(
+        f"test accuracy, EnQode ideal (exact readout):   "
+        f"{model.accuracy(test_states_ideal, test_labels):.2f}"
+    )
+    print(
+        f"test accuracy, EnQode noisy ({SHOTS} shots):      "
+        f"{shot_accuracy(test_states_noisy):.2f}"
+    )
+    print(
+        f"test accuracy, Baseline noisy ({SHOTS} shots):    "
+        f"{shot_accuracy(base_states_noisy):.2f}"
+        "   <- margin buried under shot noise"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a full-stack reproduction of EnQode (DAC 2025).
+
+EnQode is a fast *approximate* amplitude-embedding technique for quantum
+machine learning: datasets are k-means-clustered, a fixed-shape
+hardware-native ansatz is trained offline per cluster mean using an exact
+symbolic representation with closed-form gradients, and new samples are
+embedded online by transfer-learning from their nearest cluster.
+
+Quick start::
+
+    from repro import EnQodeEncoder, brisbane_linear_segment, load_dataset
+
+    backend = brisbane_linear_segment(8)
+    data = load_dataset("mnist", samples_per_class=100)
+    encoder = EnQodeEncoder(backend)
+    encoder.fit(data.class_slice(data.classes()[0]))
+    encoded = encoder.encode(data.amplitudes[0])
+    print(encoded.ideal_fidelity, encoded.metrics().depth)
+
+Subpackages
+-----------
+``repro.quantum``    gates, circuits, statevector/density-matrix simulators
+``repro.hardware``   heavy-hex topologies, calibrations, FakeBrisbane
+``repro.transpile``  routing + native-basis lowering + circuit metrics
+``repro.baseline``   exact amplitude embedding (Mottonen cascades)
+``repro.core``       the EnQode algorithm itself
+``repro.data``       synthetic image datasets + PCA pipeline
+``repro.qml``        a variational classifier consuming the embeddings
+``repro.evaluation`` per-figure experiment harness (Figs. 6-9)
+"""
+
+from repro.baseline import BaselineStatePreparation, PreparedState
+from repro.core import (
+    EnQodeAnsatz,
+    EnQodeConfig,
+    EnQodeEncoder,
+    EncodedSample,
+    FidelityObjective,
+    KMeans,
+    LBFGSOptimizer,
+    SymbolicState,
+)
+from repro.data import load_all_datasets, load_dataset
+from repro.hardware import Backend, FakeBrisbane, brisbane_linear_segment
+from repro.quantum import (
+    DensityMatrixSimulator,
+    QuantumCircuit,
+    Statevector,
+    StatevectorSimulator,
+    state_fidelity,
+)
+from repro.transpile import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Backend",
+    "BaselineStatePreparation",
+    "DensityMatrixSimulator",
+    "EnQodeAnsatz",
+    "EnQodeConfig",
+    "EnQodeEncoder",
+    "EncodedSample",
+    "FakeBrisbane",
+    "FidelityObjective",
+    "KMeans",
+    "LBFGSOptimizer",
+    "PreparedState",
+    "QuantumCircuit",
+    "Statevector",
+    "StatevectorSimulator",
+    "SymbolicState",
+    "__version__",
+    "brisbane_linear_segment",
+    "load_all_datasets",
+    "load_dataset",
+    "state_fidelity",
+    "transpile",
+]

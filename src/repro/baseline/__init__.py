@@ -1,0 +1,30 @@
+"""Baseline: exact amplitude embedding via multiplexed-rotation cascades."""
+
+from repro.baseline.angles import (
+    phase_angles,
+    reconstruct_from_levels,
+    ry_angle_levels,
+    validate_amplitudes,
+)
+from repro.baseline.mottonen import mottonen_circuit
+from repro.baseline.multiplexor import (
+    append_multiplexed_rotation,
+    gray_code,
+    multiplexed_angles,
+    multiplexed_rotation_matrix,
+)
+from repro.baseline.state_preparation import BaselineStatePreparation, PreparedState
+
+__all__ = [
+    "BaselineStatePreparation",
+    "PreparedState",
+    "append_multiplexed_rotation",
+    "gray_code",
+    "mottonen_circuit",
+    "multiplexed_angles",
+    "multiplexed_rotation_matrix",
+    "phase_angles",
+    "reconstruct_from_levels",
+    "ry_angle_levels",
+    "validate_amplitudes",
+]

@@ -1,0 +1,95 @@
+"""Rotation-angle computation for exact amplitude embedding.
+
+Exact state preparation (Mottonen et al. 2004; the scheme behind qiskit's
+``StatePreparation`` [Iten et al. 2016; Shende et al. 2006]) reduces to a
+cascade of *multiplexed* Ry rotations, one level per qubit.  Level ``k``
+carries ``2^k`` angles derived from the binary subdivision tree of the
+amplitude vector: each angle rotates the target qubit so the probability
+mass splits like the norms of the two half-blocks.
+
+At the last level the blocks are single (signed, for real inputs)
+amplitudes, so a signed ``atan2`` reproduces negative amplitudes exactly.
+Complex inputs additionally need the phase angles from
+:func:`phase_angles`, synthesized as multiplexed Rz levels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import StatePreparationError
+
+
+def validate_amplitudes(amplitudes: np.ndarray) -> np.ndarray:
+    """Check and normalize an amplitude vector (any nonzero norm allowed)."""
+    vec = np.asarray(amplitudes, dtype=complex).ravel()
+    num_qubits = int(round(math.log2(vec.size)))
+    if 2**num_qubits != vec.size or vec.size < 2:
+        raise StatePreparationError(
+            f"amplitude vector length {vec.size} is not a power of two >= 2"
+        )
+    norm = np.linalg.norm(vec)
+    if norm < 1e-12:
+        raise StatePreparationError("cannot embed the zero vector")
+    return vec / norm
+
+
+def ry_angle_levels(amplitudes: np.ndarray) -> list[np.ndarray]:
+    """Per-level multiplexed-Ry angles preparing ``|amplitudes|`` with signs.
+
+    Returns ``n`` arrays; array ``k`` has ``2^k`` angles for target qubit
+    ``k`` controlled on qubits ``0..k-1``.  Works on the magnitudes except
+    at the deepest level, where signed values recover real negative
+    amplitudes.  (Complex phases are handled separately.)
+    """
+    vec = validate_amplitudes(amplitudes)
+    num_qubits = int(round(math.log2(vec.size)))
+    magnitudes = np.abs(vec)
+    # block_norms[k][j] = norm of the j-th block of size 2^(n-k).
+    levels: list[np.ndarray] = []
+    norms = magnitudes**2
+    norm_tree = [norms]
+    while norm_tree[-1].size > 1:
+        folded = norm_tree[-1].reshape(-1, 2).sum(axis=1)
+        norm_tree.append(folded)
+    norm_tree.reverse()  # norm_tree[k] has 2^k squared block norms
+
+    for k in range(num_qubits):
+        parents = np.sqrt(norm_tree[k])
+        children = np.sqrt(norm_tree[k + 1]).reshape(-1, 2)
+        if k == num_qubits - 1 and np.allclose(vec.imag, 0.0, atol=1e-12):
+            # Real input: deepest level sees signed amplitudes directly.
+            children = vec.real.reshape(-1, 2)
+        angles = np.array(
+            [
+                2.0 * math.atan2(lower, upper) if parent > 1e-12 else 0.0
+                for (upper, lower), parent in zip(children, parents)
+            ]
+        )
+        levels.append(angles)
+    return levels
+
+
+def phase_angles(amplitudes: np.ndarray) -> np.ndarray:
+    """Element phases of a complex amplitude vector (zeros if real)."""
+    vec = validate_amplitudes(amplitudes)
+    if np.allclose(vec.imag, 0.0, atol=1e-12):
+        return np.zeros(vec.size)
+    return np.angle(vec)
+
+
+def reconstruct_from_levels(levels: list[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`ry_angle_levels` (used by the unit tests).
+
+    Re-runs the binary subdivision with the stored angles to recover the
+    amplitudes the cascade will produce.
+    """
+    vec = np.array([1.0])
+    for angles in levels:
+        out = np.empty(vec.size * 2)
+        out[0::2] = vec * np.cos(np.asarray(angles) / 2.0)
+        out[1::2] = vec * np.sin(np.asarray(angles) / 2.0)
+        vec = out
+    return vec

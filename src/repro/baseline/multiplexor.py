@@ -1,0 +1,133 @@
+"""Gray-code synthesis of multiplexed (uniformly controlled) rotations.
+
+A multiplexed rotation applies ``R(alpha_j)`` to a target qubit when the
+control register holds pattern ``j``.  The classic synthesis (Mottonen et
+al. 2004) emits ``2^k`` plain rotations interleaved with ``2^k`` CX gates
+whose controls walk a Gray-code ruler sequence; the rotation angles are a
+scaled Walsh-Hadamard transform of the multiplexed angles.
+
+Near-zero transformed angles are **pruned** (the rotation is skipped,
+matching qiskit's uniformly-controlled-rotation simplification).  The CX
+pairs this strands are removed later by
+:func:`repro.transpile.passes.cancel_adjacent_cx` — together these two
+effects make exact amplitude embedding *data dependent* in depth and gate
+count, the variability that EnQode eliminates (Figs. 6-7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StatePreparationError
+from repro.quantum.circuit import QuantumCircuit
+
+
+def gray_code(index: int) -> int:
+    """The ``index``-th reflected-binary Gray code."""
+    return index ^ (index >> 1)
+
+
+def _changed_bit(step: int, num_bits: int) -> int:
+    """Bit flipped between ``gray(step)`` and ``gray(step+1)`` in a cyclic
+    ``num_bits``-bit Gray walk (the final step wraps through the MSB)."""
+    if step + 1 == 1 << num_bits:
+        return num_bits - 1
+    return ((step + 1) & -(step + 1)).bit_length() - 1
+
+
+def multiplexed_angles(alpha: np.ndarray) -> np.ndarray:
+    """Transform multiplexed angles to the Gray-code rotation angles.
+
+    Solves ``alpha_j = sum_i (-1)^{<gray(i), j>} theta_i`` for ``theta``
+    using the orthogonality ``M M^T = 2^k I`` of the sign matrix.
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    size = alpha.size
+    if size & (size - 1):
+        raise StatePreparationError(f"angle count {size} is not a power of two")
+    if size == 1:
+        return alpha.copy()
+    j = np.arange(size)
+    signs = np.empty((size, size))
+    for i in range(size):
+        parity = _popcount_array(np.bitwise_and(gray_code(i), j))
+        signs[:, i] = np.where(parity % 2 == 0, 1.0, -1.0)
+    return signs.T @ alpha / size
+
+
+def _popcount_array(values: np.ndarray) -> np.ndarray:
+    counts = np.zeros_like(values)
+    values = values.copy()
+    while np.any(values):
+        counts += values & 1
+        values >>= 1
+    return counts
+
+
+def append_multiplexed_rotation(
+    circuit: QuantumCircuit,
+    axis: str,
+    alpha: np.ndarray,
+    target: int,
+    controls: tuple[int, ...],
+    prune_tol: float = 1e-9,
+) -> None:
+    """Append a multiplexed Ry/Rz with angles ``alpha`` (indexed by control
+    pattern; ``controls[0]`` is the pattern's most significant bit).
+
+    With no controls this is a single rotation.  Rotations whose
+    transformed angle is below ``prune_tol`` are skipped.
+    """
+    if axis not in ("ry", "rz"):
+        raise StatePreparationError(f"unsupported multiplex axis {axis!r}")
+    alpha = np.asarray(alpha, dtype=float)
+    if alpha.size != 2 ** len(controls):
+        raise StatePreparationError(
+            f"{alpha.size} angles for {len(controls)} controls"
+        )
+    rotate = circuit.ry if axis == "ry" else circuit.rz
+    if not controls:
+        if abs(alpha[0]) > prune_tol:
+            rotate(float(alpha[0]), target)
+        return
+    theta = multiplexed_angles(alpha)
+    num_controls = len(controls)
+
+    # Consecutive CXs of a multiplexor all share the target, so they
+    # commute and pairs cancel: across a run of pruned rotations only the
+    # XOR of the toggled control bits must be emitted.  This is the
+    # data-dependent simplification that makes exact embedding circuits
+    # vary from sample to sample.
+    pending_mask = 0
+
+    def flush() -> None:
+        nonlocal pending_mask
+        for bit in range(num_controls):
+            if pending_mask & (1 << bit):
+                circuit.cx(controls[num_controls - 1 - bit], target)
+        pending_mask = 0
+
+    for step in range(theta.size):
+        if abs(theta[step]) > prune_tol:
+            flush()
+            rotate(float(theta[step]), target)
+        pending_mask ^= 1 << _changed_bit(step, num_controls)
+    flush()
+
+
+def multiplexed_rotation_matrix(
+    axis: str, alpha: np.ndarray
+) -> np.ndarray:
+    """Dense block-diagonal reference matrix (tests only).
+
+    Basis order: controls are the high bits (controls[0] most significant),
+    target is the least significant bit.
+    """
+    from repro.quantum.gates import gate
+
+    blocks = [gate(axis, float(a)).matrix for a in np.asarray(alpha)]
+    dim = 2 * len(blocks)
+    mat = np.zeros((dim, dim), dtype=complex)
+    for j, block in enumerate(blocks):
+        mat[2 * j : 2 * j + 2, 2 * j : 2 * j + 2] = block
+    return mat

@@ -1,0 +1,67 @@
+"""Configuration dataclass for the EnQode encoder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class EnQodeConfig:
+    """All tunables of the EnQode pipeline, with the paper's defaults.
+
+    Attributes
+    ----------
+    num_qubits, num_layers:
+        Ansatz geometry (paper: 8 qubits, 8 layers -> 64 Rz parameters).
+    entangler, alternate_orientation:
+        Entangling-gate choice (paper: CY, alternating arrangement).
+    min_cluster_fidelity:
+        Sec. IV-A rule: clusters are added until every sample has
+        nearest-cluster fidelity at least this value (paper: 0.95).
+    max_clusters:
+        Safety cap for the cluster search.
+    offline_restarts, offline_max_iterations:
+        L-BFGS budget when training a cluster mean from scratch.
+    online_max_iterations:
+        L-BFGS budget for transfer-learned per-sample fine-tuning
+        (small, keeping online latency low and uniform — Sec. III-D).
+    target_fidelity:
+        Early-exit threshold for offline restarts.
+    optimization_level:
+        Transpiler effort used when lowering embedding circuits.
+    seed:
+        Master seed for clustering and optimizer restarts.
+    """
+
+    num_qubits: int = 8
+    num_layers: int = 8
+    entangler: str = "cy"
+    alternate_orientation: bool = True
+    min_cluster_fidelity: float = 0.95
+    max_clusters: int = 64
+    offline_restarts: int = 6
+    offline_max_iterations: int = 1500
+    online_max_iterations: int = 80
+    target_fidelity: float = 0.995
+    gtol: float = 1e-9
+    ftol: float = 1e-12
+    optimization_level: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 2:
+            raise OptimizationError("num_qubits must be >= 2")
+        if self.num_layers < 1:
+            raise OptimizationError("num_layers must be >= 1")
+        if not 0.0 < self.min_cluster_fidelity <= 1.0:
+            raise OptimizationError(
+                "min_cluster_fidelity must be in (0, 1]"
+            )
+        if self.online_max_iterations < 1 or self.offline_max_iterations < 1:
+            raise OptimizationError("iteration budgets must be positive")
+
+    @property
+    def num_amplitudes(self) -> int:
+        return 2**self.num_qubits

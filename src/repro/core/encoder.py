@@ -1,0 +1,238 @@
+"""The EnQode encoder: the paper's end-to-end amplitude-embedding pipeline.
+
+Offline (:meth:`EnQodeEncoder.fit`, Sec. III-C): k-means the dataset with
+the 0.95 nearest-cluster-fidelity rule, then train the fixed-shape ansatz
+against every cluster mean with symbolic L-BFGS.
+
+Online (:meth:`EnQodeEncoder.encode`, Sec. III-D): map a sample to its
+nearest cluster, fine-tune that cluster's parameters for the sample, bind
+them into the ansatz, and transpile to the backend.  Every sample gets a
+circuit with **identical shape** — identical depth, gate counts, and
+noise exposure — which is EnQode's core claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ansatz import EnQodeAnsatz
+from repro.core.clustering import (
+    KMeans,
+    min_nearest_fidelity,
+    select_num_clusters,
+)
+from repro.core.config import EnQodeConfig
+from repro.core.objective import FidelityObjective
+from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
+from repro.core.symbolic import SymbolicState
+from repro.core.transfer import TransferLearner
+from repro.errors import OptimizationError
+from repro.hardware.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+from repro.transpile.metrics import CircuitMetrics
+from repro.transpile.transpiler import TranspileResult, transpile
+from repro.utils.timing import Timer
+
+
+@dataclass
+class ClusterModel:
+    """One trained cluster: its mean state and optimized parameters."""
+
+    center: np.ndarray
+    theta: np.ndarray
+    fidelity: float
+    training_time: float
+    result: OptimizationResult
+
+
+@dataclass
+class OfflineReport:
+    """Summary of :meth:`EnQodeEncoder.fit` (the Fig. 9(b) numbers)."""
+
+    num_clusters: int
+    total_time: float
+    clustering_time: float
+    training_time: float
+    min_nearest_fidelity: float
+    cluster_fidelities: list[float] = field(default_factory=list)
+    cluster_times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_cluster_fidelity(self) -> float:
+        return float(np.mean(self.cluster_fidelities))
+
+
+@dataclass
+class EncodedSample:
+    """One online-embedded sample, ready for a downstream QML circuit."""
+
+    target: np.ndarray
+    theta: np.ndarray
+    cluster_index: int
+    ideal_fidelity: float
+    logical_circuit: QuantumCircuit
+    transpiled: TranspileResult
+    compile_time: float
+    optimizer_iterations: int
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The hardware-native embedding circuit."""
+        return self.transpiled.circuit
+
+    def metrics(self) -> CircuitMetrics:
+        return self.transpiled.metrics()
+
+    def physical_target(self) -> np.ndarray:
+        return self.transpiled.embed_target(self.target)
+
+
+class EnQodeEncoder:
+    """Cluster-train offline, transfer-learn online (the paper's system)."""
+
+    def __init__(
+        self, backend: Backend, config: EnQodeConfig | None = None
+    ) -> None:
+        self.backend = backend
+        self.config = config or EnQodeConfig()
+        if 2**self.config.num_qubits > 2**backend.num_qubits:
+            raise OptimizationError(
+                f"{self.config.num_qubits}-qubit encoder cannot target "
+                f"{backend.num_qubits}-qubit backend"
+            )
+        self.ansatz = EnQodeAnsatz(
+            self.config.num_qubits,
+            self.config.num_layers,
+            self.config.entangler,
+            self.config.alternate_orientation,
+        )
+        self.symbolic = SymbolicState.from_ansatz(self.ansatz)
+        self.kmeans: KMeans | None = None
+        self.cluster_models: list[ClusterModel] = []
+        self.offline_report: OfflineReport | None = None
+        self._transfer: TransferLearner | None = None
+
+    # -- offline ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._transfer is not None
+
+    def fit(self, samples: np.ndarray) -> OfflineReport:
+        """Cluster ``samples`` and train one ansatz per cluster mean."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != self.config.num_amplitudes:
+            raise OptimizationError(
+                f"samples must be (N, {self.config.num_amplitudes}), "
+                f"got {samples.shape}"
+            )
+        samples = samples / np.linalg.norm(samples, axis=1, keepdims=True)
+
+        with Timer() as cluster_timer:
+            self.kmeans = select_num_clusters(
+                samples,
+                min_fidelity=self.config.min_cluster_fidelity,
+                max_clusters=self.config.max_clusters,
+                seed=self.config.seed,
+            )
+        centers = self.kmeans.centers_
+
+        optimizer = LBFGSOptimizer(
+            max_iterations=self.config.offline_max_iterations,
+            gtol=self.config.gtol,
+            ftol=self.config.ftol,
+            num_restarts=self.config.offline_restarts,
+            target_fidelity=self.config.target_fidelity,
+            seed=self.config.seed,
+        )
+        self.cluster_models = []
+        with Timer() as training_timer:
+            for center in centers:
+                unit_center = center / np.linalg.norm(center)
+                objective = FidelityObjective(
+                    self.symbolic, self.ansatz, unit_center
+                )
+                with Timer() as one_timer:
+                    result = optimizer.optimize(objective)
+                self.cluster_models.append(
+                    ClusterModel(
+                        center=unit_center,
+                        theta=result.theta,
+                        fidelity=result.fidelity,
+                        training_time=one_timer.elapsed,
+                        result=result,
+                    )
+                )
+
+        self._transfer = TransferLearner(
+            self.ansatz,
+            self.symbolic,
+            centers=np.asarray([m.center for m in self.cluster_models]),
+            cluster_thetas=np.asarray([m.theta for m in self.cluster_models]),
+            max_iterations=self.config.online_max_iterations,
+            gtol=self.config.gtol,
+            ftol=self.config.ftol,
+        )
+        self.offline_report = OfflineReport(
+            num_clusters=len(self.cluster_models),
+            total_time=cluster_timer.elapsed + training_timer.elapsed,
+            clustering_time=cluster_timer.elapsed,
+            training_time=training_timer.elapsed,
+            min_nearest_fidelity=min_nearest_fidelity(samples, centers),
+            cluster_fidelities=[m.fidelity for m in self.cluster_models],
+            cluster_times=[m.training_time for m in self.cluster_models],
+        )
+        return self.offline_report
+
+    # -- online --------------------------------------------------------------------
+
+    def encode(self, sample: np.ndarray) -> EncodedSample:
+        """Embed one sample via transfer learning (the "real-time" path)."""
+        if not self.is_fitted:
+            raise OptimizationError("EnQodeEncoder.encode called before fit")
+        sample = np.asarray(sample, dtype=float).ravel()
+        if sample.size != self.config.num_amplitudes:
+            raise OptimizationError(
+                f"sample has {sample.size} amplitudes, expected "
+                f"{self.config.num_amplitudes}"
+            )
+        sample = sample / np.linalg.norm(sample)
+        with Timer() as timer:
+            outcome = self._transfer.embed(sample)
+            logical = self.ansatz.circuit(outcome.theta)
+            transpiled = transpile(
+                logical,
+                self.backend,
+                optimization_level=self.config.optimization_level,
+            )
+        return EncodedSample(
+            target=sample,
+            theta=outcome.theta,
+            cluster_index=outcome.cluster_index,
+            ideal_fidelity=outcome.fidelity,
+            logical_circuit=logical,
+            transpiled=transpiled,
+            compile_time=timer.elapsed,
+            optimizer_iterations=outcome.result.num_iterations,
+        )
+
+    def encode_batch(self, samples: np.ndarray) -> list[EncodedSample]:
+        return [self.encode(row) for row in np.asarray(samples)]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def cluster_centers(self) -> np.ndarray:
+        """Unit-norm cluster centers (available after fit *or* reload)."""
+        if not self.cluster_models:
+            raise OptimizationError("encoder not fitted")
+        return np.asarray([model.center for model in self.cluster_models])
+
+    def __repr__(self) -> str:
+        state = (
+            f"fitted, clusters={len(self.cluster_models)}"
+            if self.is_fitted
+            else "unfitted"
+        )
+        return f"EnQodeEncoder({self.ansatz!r}, {state})"

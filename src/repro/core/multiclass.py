@@ -1,0 +1,98 @@
+"""Per-class EnQode training — the paper's full-dataset workflow.
+
+Sec. IV-A reports offline cost "per dataset and class": EnQode trains an
+independent set of cluster models for every class of a dataset.  This
+facade manages that collection: fit one encoder per class, route encode
+requests, and aggregate the offline reports (what Fig. 9(b) plots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import EnQodeConfig
+from repro.core.encoder import EncodedSample, EnQodeEncoder, OfflineReport
+from repro.data.preprocess import EmbeddingDataset
+from repro.errors import OptimizationError
+from repro.hardware.backend import Backend
+
+
+class PerClassEnQode:
+    """One :class:`EnQodeEncoder` per dataset class (Sec. III-C setup)."""
+
+    def __init__(
+        self, backend: Backend, config: EnQodeConfig | None = None
+    ) -> None:
+        self.backend = backend
+        self.config = config or EnQodeConfig()
+        self.encoders: dict[int, EnQodeEncoder] = {}
+
+    # -- offline -----------------------------------------------------------------
+
+    def fit(self, dataset: EmbeddingDataset) -> dict[int, OfflineReport]:
+        """Train cluster models for every class; returns per-class reports."""
+        reports = {}
+        for label in dataset.classes():
+            label = int(label)
+            encoder = EnQodeEncoder(self.backend, self.config)
+            reports[label] = encoder.fit(dataset.class_slice(label))
+            self.encoders[label] = encoder
+        return reports
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.encoders)
+
+    def classes(self) -> list[int]:
+        return sorted(self.encoders)
+
+    # -- online ------------------------------------------------------------------
+
+    def encoder_for(self, label: int) -> EnQodeEncoder:
+        try:
+            return self.encoders[int(label)]
+        except KeyError:
+            raise OptimizationError(
+                f"no encoder trained for class {label}; "
+                f"available: {self.classes()}"
+            ) from None
+
+    def encode(self, sample: np.ndarray, label: int) -> EncodedSample:
+        """Embed ``sample`` with its class's trained models."""
+        return self.encoder_for(label).encode(sample)
+
+    def encode_auto(self, sample: np.ndarray) -> EncodedSample:
+        """Embed a sample of unknown class.
+
+        Picks the class whose nearest cluster center is closest to the
+        sample (the natural extension of Sec. III-D's nearest-cluster
+        assignment across all trained models), then transfer-learns there.
+        """
+        if not self.is_fitted:
+            raise OptimizationError("PerClassEnQode.encode_auto before fit")
+        sample = np.asarray(sample, dtype=float).ravel()
+        unit = sample / np.linalg.norm(sample)
+        best_label, best_distance = None, np.inf
+        for label, encoder in self.encoders.items():
+            centers = encoder.cluster_centers()
+            distances = np.linalg.norm(centers - unit[None, :], axis=1)
+            nearest = float(distances.min())
+            if nearest < best_distance:
+                best_label, best_distance = label, nearest
+        return self.encoders[best_label].encode(sample)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_offline_time(self) -> float:
+        """Sum of per-class offline costs (the paper's <200 s per class)."""
+        return sum(
+            encoder.offline_report.total_time
+            for encoder in self.encoders.values()
+            if encoder.offline_report is not None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PerClassEnQode(classes={self.classes()}, "
+            f"backend={self.backend.name!r})"
+        )

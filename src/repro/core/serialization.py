@@ -1,0 +1,121 @@
+"""Persist and restore trained EnQode models.
+
+Sec. III-C: "The trained cluster models are then stored and used to
+support online training and inference."  This module makes that concrete:
+a fitted :class:`~repro.core.encoder.EnQodeEncoder`'s cluster centers,
+optimized parameters, and configuration round-trip through a plain JSON
+document, so offline training can run once (e.g. in a batch job) and the
+online embedding service can reload the models anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.config import EnQodeConfig
+from repro.core.encoder import ClusterModel, EnQodeEncoder, OfflineReport
+from repro.core.optimizer import OptimizationResult
+from repro.core.transfer import TransferLearner
+from repro.errors import OptimizationError
+
+FORMAT_VERSION = 1
+
+
+def encoder_to_dict(encoder: EnQodeEncoder) -> dict:
+    """Serializable snapshot of a fitted encoder (models + config)."""
+    if not encoder.is_fitted:
+        raise OptimizationError("cannot serialize an unfitted encoder")
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": dataclasses.asdict(encoder.config),
+        "clusters": [
+            {
+                "center": model.center.tolist(),
+                "theta": model.theta.tolist(),
+                "fidelity": model.fidelity,
+                "training_time": model.training_time,
+            }
+            for model in encoder.cluster_models
+        ],
+    }
+
+
+def save_encoder(encoder: EnQodeEncoder, path: "str | pathlib.Path") -> None:
+    """Write a fitted encoder's models to ``path`` as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(encoder_to_dict(encoder), indent=1))
+
+
+def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
+    """Rebuild a ready-to-encode encoder from :func:`encoder_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise OptimizationError(
+            f"unsupported EnQode model format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    config = EnQodeConfig(**payload["config"])
+    encoder = EnQodeEncoder(backend, config)
+    models = []
+    for entry in payload["clusters"]:
+        center = np.asarray(entry["center"], dtype=float)
+        theta = np.asarray(entry["theta"], dtype=float)
+        if center.size != config.num_amplitudes:
+            raise OptimizationError(
+                f"stored center has dim {center.size}, config expects "
+                f"{config.num_amplitudes}"
+            )
+        if theta.size != encoder.ansatz.num_parameters:
+            raise OptimizationError(
+                f"stored theta has {theta.size} parameters, ansatz has "
+                f"{encoder.ansatz.num_parameters}"
+            )
+        models.append(
+            ClusterModel(
+                center=center,
+                theta=theta,
+                fidelity=float(entry["fidelity"]),
+                training_time=float(entry.get("training_time", 0.0)),
+                result=OptimizationResult(
+                    theta=theta,
+                    fidelity=float(entry["fidelity"]),
+                    loss=1.0 - float(entry["fidelity"]),
+                    num_iterations=0,
+                    num_evaluations=0,
+                    time=0.0,
+                    converged=True,
+                ),
+            )
+        )
+    if not models:
+        raise OptimizationError("stored model has no clusters")
+    encoder.cluster_models = models
+    encoder._transfer = TransferLearner(
+        encoder.ansatz,
+        encoder.symbolic,
+        centers=np.asarray([m.center for m in models]),
+        cluster_thetas=np.asarray([m.theta for m in models]),
+        max_iterations=config.online_max_iterations,
+        gtol=config.gtol,
+        ftol=config.ftol,
+    )
+    encoder.offline_report = OfflineReport(
+        num_clusters=len(models),
+        total_time=0.0,
+        clustering_time=0.0,
+        training_time=sum(m.training_time for m in models),
+        min_nearest_fidelity=float("nan"),
+        cluster_fidelities=[m.fidelity for m in models],
+        cluster_times=[m.training_time for m in models],
+    )
+    return encoder
+
+
+def load_encoder(path: "str | pathlib.Path", backend) -> EnQodeEncoder:
+    """Read a fitted encoder back from :func:`save_encoder` output."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return encoder_from_dict(payload, backend)

@@ -1,0 +1,149 @@
+"""Symbolic phase-state representation of the EnQode ansatz (Eq. 6).
+
+After the opening ``Rx(-pi/2)`` layer every computational-basis amplitude
+has magnitude ``2^(-n/2)``, and the gates that follow preserve that:
+
+* ``Rz(theta_j)`` multiplies each amplitude by ``exp(+-i theta_j / 2)``
+  (sign = the acted-on qubit's bit value);
+* ``CY``/``CX``/``CZ`` map basis states to basis states with a phase in
+  ``{1, i, -1, -i}``.
+
+The pre-closing state is therefore **exactly**
+
+    psi_r(theta) = 2^(-n/2) * i^(k_r) * exp(i * (P @ theta)_r / 2)
+
+with integer data: ``k_r`` in Z_4 and ``P`` in {-1, 0, +1}^(2^n x l)
+(entries of P are +-1 for every parameter since each Rz touches every
+basis state).  Both are computed by exact integer propagation — no
+floating-point circuit simulation — and give closed-form fidelity values
+and Jacobians for the optimizer (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ansatz import EnQodeAnsatz
+from repro.errors import OptimizationError
+
+
+class SymbolicState:
+    """Integer-exact symbolic form of the ansatz's pre-closing state.
+
+    Attributes
+    ----------
+    k_pow:
+        ``(2^n,)`` int array; amplitude ``r`` carries the phase factor
+        ``i ** k_pow[r]``.
+    phase_matrix:
+        ``(2^n, l)`` int8 array ``P``; amplitude ``r`` carries
+        ``exp(i * (P[r] @ theta) / 2)``.
+    """
+
+    def __init__(self, num_qubits: int, k_pow: np.ndarray, phase_matrix: np.ndarray):
+        dim = 2**num_qubits
+        if k_pow.shape != (dim,) or phase_matrix.shape[0] != dim:
+            raise OptimizationError("symbolic state shape mismatch")
+        self.num_qubits = num_qubits
+        self.k_pow = k_pow
+        self.phase_matrix = phase_matrix
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_ansatz(cls, ansatz: EnQodeAnsatz) -> "SymbolicState":
+        """Propagate the ansatz structure exactly with integer arithmetic."""
+        n = ansatz.num_qubits
+        dim = 2**n
+        indices = np.arange(dim)
+        # Opening Rx(-pi/2) layer: amplitude r = 2^(-n/2) * i^popcount(r).
+        k_pow = _popcount(indices) % 4
+        phase = np.zeros((dim, ansatz.num_parameters), dtype=np.int8)
+
+        for layer in range(ansatz.num_layers):
+            for qubit in range(n):
+                j = ansatz.parameter_index(layer, qubit)
+                bit = (indices >> (n - 1 - qubit)) & 1
+                # Rz = diag(e^{-i t/2}, e^{+i t/2}): sign -1 for bit 0.
+                phase[:, j] += np.where(bit == 1, 1, -1).astype(np.int8)
+            for control, target in ansatz.entangling_pairs(layer):
+                k_pow, phase = _apply_entangler(
+                    ansatz.entangler, k_pow, phase, indices, n, control, target
+                )
+        return cls(n, k_pow % 4, phase)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def amplitudes(self, theta: np.ndarray) -> np.ndarray:
+        """The pre-closing statevector ``|psi(theta)>`` (Eq. 6)."""
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.size != self.phase_matrix.shape[1]:
+            raise OptimizationError(
+                f"expected {self.phase_matrix.shape[1]} parameters, "
+                f"got {theta.size}"
+            )
+        phases = self.phase_matrix @ theta / 2.0
+        k_factor = 1j ** self.k_pow
+        return k_factor * np.exp(1j * phases) / np.sqrt(2**self.num_qubits)
+
+    def embedded_amplitudes(
+        self, theta: np.ndarray, ansatz: EnQodeAnsatz
+    ) -> np.ndarray:
+        """The final embedded state ``V |psi(theta)>`` (closing layer applied)."""
+        return ansatz.apply_closing_layer(self.amplitudes(theta))
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicState(qubits={self.num_qubits}, "
+            f"params={self.phase_matrix.shape[1]})"
+        )
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    counts = np.zeros_like(values)
+    work = values.copy()
+    while np.any(work):
+        counts += work & 1
+        work >>= 1
+    return counts
+
+
+def _apply_entangler(
+    name: str,
+    k_pow: np.ndarray,
+    phase: np.ndarray,
+    indices: np.ndarray,
+    num_qubits: int,
+    control: int,
+    target: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Push a CY/CX/CZ through the symbolic state (exact, integer)."""
+    control_bit = (indices >> (num_qubits - 1 - control)) & 1
+    target_bit = (indices >> (num_qubits - 1 - target)) & 1
+    target_mask = 1 << (num_qubits - 1 - target)
+
+    if name == "cz":
+        # Diagonal: phase -1 (= i^2) when both bits are 1; no permutation.
+        new_k = k_pow + 2 * (control_bit & target_bit)
+        return new_k % 4, phase
+
+    # CX / CY / CRy permute: when the control bit is 1, the *source* of
+    # the new amplitude at r is r with the target bit flipped.
+    source = np.where(control_bit == 1, indices ^ target_mask, indices)
+    new_k = k_pow[source].copy()
+    new_phase = phase[source]
+    if name == "cy":
+        # Y|0> = i|1>, Y|1> = -i|0>: destination target-bit 1 gains i,
+        # destination target-bit 0 gains -i (= i^3).
+        gain = np.where(target_bit == 1, 1, 3)
+        new_k = new_k + np.where(control_bit == 1, gain, 0)
+    elif name == "cry":
+        # CRy(pi): |10> -> |11>, |11> -> -|10>: gains 1 and -1 (= i^2).
+        gain = np.where(target_bit == 1, 0, 2)
+        new_k = new_k + np.where(control_bit == 1, gain, 0)
+    return new_k % 4, new_phase
+
+
+def build_symbolic(ansatz: EnQodeAnsatz) -> SymbolicState:
+    """Convenience wrapper around :meth:`SymbolicState.from_ansatz`."""
+    return SymbolicState.from_ansatz(ansatz)

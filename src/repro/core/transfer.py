@@ -1,0 +1,99 @@
+"""Transfer learning: warm-started per-sample embedding (Sec. III-D).
+
+A new sample is matched to its nearest cluster (Euclidean distance to the
+centroids); that cluster's trained parameters initialize a short L-BFGS
+fine-tune of the sample's own embedding.  Because the initialization is
+already close, the online step is fast and its latency is uniform — the
+property Fig. 9(a) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ansatz import EnQodeAnsatz
+from repro.core.clustering import nearest_center
+from repro.core.objective import FidelityObjective
+from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
+from repro.core.symbolic import SymbolicState
+from repro.errors import OptimizationError
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one warm-started sample embedding."""
+
+    cluster_index: int
+    cluster_distance: float
+    result: OptimizationResult
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self.result.theta
+
+    @property
+    def fidelity(self) -> float:
+        return self.result.fidelity
+
+
+class TransferLearner:
+    """Embeds samples by fine-tuning from pre-trained cluster parameters."""
+
+    def __init__(
+        self,
+        ansatz: EnQodeAnsatz,
+        symbolic: SymbolicState,
+        centers: np.ndarray,
+        cluster_thetas: np.ndarray,
+        max_iterations: int = 80,
+        gtol: float = 1e-9,
+        ftol: float = 1e-12,
+    ) -> None:
+        centers = np.asarray(centers, dtype=float)
+        cluster_thetas = np.asarray(cluster_thetas, dtype=float)
+        if centers.shape[0] != cluster_thetas.shape[0]:
+            raise OptimizationError(
+                "one trained parameter vector per cluster center required"
+            )
+        if cluster_thetas.shape[1] != ansatz.num_parameters:
+            raise OptimizationError("cluster theta size != ansatz parameters")
+        self.ansatz = ansatz
+        self.symbolic = symbolic
+        self.centers = centers
+        self.cluster_thetas = cluster_thetas
+        self._optimizer = LBFGSOptimizer(
+            max_iterations=max_iterations, gtol=gtol, ftol=ftol, num_restarts=1
+        )
+
+    def embed(self, sample: np.ndarray) -> TransferOutcome:
+        """Warm-start from the nearest cluster and fine-tune for ``sample``."""
+        sample = np.asarray(sample, dtype=float).ravel()
+        index, distance = nearest_center(sample, self.centers)
+        objective = FidelityObjective(self.symbolic, self.ansatz, sample)
+        result = self._optimizer.optimize(
+            objective, theta0=self.cluster_thetas[index]
+        )
+        return TransferOutcome(
+            cluster_index=index, cluster_distance=distance, result=result
+        )
+
+    def embed_cold(self, sample: np.ndarray, seed: int = 0) -> TransferOutcome:
+        """Ablation A5 contrast: same iteration budget, random init."""
+        sample = np.asarray(sample, dtype=float).ravel()
+        objective = FidelityObjective(self.symbolic, self.ansatz, sample)
+        cold = LBFGSOptimizer(
+            max_iterations=self._optimizer.max_iterations,
+            gtol=self._optimizer.gtol,
+            ftol=self._optimizer.ftol,
+            num_restarts=1,
+            seed=seed,
+        )
+        rng_theta = np.random.default_rng(seed).uniform(
+            -np.pi, np.pi, self.ansatz.num_parameters
+        )
+        result = cold.optimize(objective, theta0=rng_theta)
+        return TransferOutcome(
+            cluster_index=-1, cluster_distance=float("nan"), result=result
+        )

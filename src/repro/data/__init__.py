@@ -1,0 +1,27 @@
+"""Data pipeline: synthetic image datasets, PCA, and AE preprocessing."""
+
+from repro.data.datasets import DATASET_NAMES, load_all_datasets, load_dataset
+from repro.data.pca import PCA
+from repro.data.preprocess import (
+    EmbeddingDataset,
+    normalize_rows,
+    prepare_embedding_dataset,
+)
+from repro.data.synthetic import (
+    synthetic_cifar10,
+    synthetic_fashion_mnist,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "EmbeddingDataset",
+    "PCA",
+    "load_all_datasets",
+    "load_dataset",
+    "normalize_rows",
+    "prepare_embedding_dataset",
+    "synthetic_cifar10",
+    "synthetic_fashion_mnist",
+    "synthetic_mnist",
+]

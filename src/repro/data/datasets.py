@@ -1,0 +1,75 @@
+"""Dataset registry reproducing the paper's evaluation data setup.
+
+Sec. IV-B: three image datasets (MNIST, F-MNIST, CIFAR), 5 randomly
+sampled classes each, 500 images per class, PCA to ``2^n`` features,
+normalized.  :func:`load_dataset` runs that pipeline for the synthetic
+stand-ins (see :mod:`repro.data.synthetic` for why they are synthetic and
+what is preserved).
+"""
+
+from __future__ import annotations
+
+from repro.data.preprocess import EmbeddingDataset, prepare_embedding_dataset
+from repro.data.synthetic import (
+    synthetic_cifar10,
+    synthetic_fashion_mnist,
+    synthetic_mnist,
+)
+from repro.errors import DataError
+from repro.utils.rng import as_rng
+
+DATASET_NAMES = ("mnist", "fmnist", "cifar")
+
+_GENERATORS = {
+    "mnist": synthetic_mnist,
+    "fmnist": synthetic_fashion_mnist,
+    "cifar": synthetic_cifar10,
+}
+
+
+def load_dataset(
+    name: str,
+    num_classes: int = 5,
+    samples_per_class: int = 500,
+    num_features: int = 256,
+    seed: int = 0,
+) -> EmbeddingDataset:
+    """Generate + preprocess one of the paper's three datasets.
+
+    ``num_classes`` classes are sampled at random (seeded) from the ten
+    available, matching the paper's "randomly sampled 5 classes".
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key == "fashionmnist":
+        key = "fmnist"
+    if key == "cifar10":
+        key = "cifar"
+    if key not in _GENERATORS:
+        raise DataError(f"unknown dataset {name!r}; options: {DATASET_NAMES}")
+    rng = as_rng(seed)
+    classes = sorted(
+        int(c) for c in rng.choice(10, size=num_classes, replace=False)
+    )
+    images, labels = _GENERATORS[key](
+        classes=classes, samples_per_class=samples_per_class, seed=seed + 1
+    )
+    return prepare_embedding_dataset(key, images, labels, num_features)
+
+
+def load_all_datasets(
+    num_classes: int = 5,
+    samples_per_class: int = 500,
+    num_features: int = 256,
+    seed: int = 0,
+) -> dict[str, EmbeddingDataset]:
+    """All three evaluation datasets, keyed by canonical name."""
+    return {
+        name: load_dataset(
+            name,
+            num_classes=num_classes,
+            samples_per_class=samples_per_class,
+            num_features=num_features,
+            seed=seed,
+        )
+        for name in DATASET_NAMES
+    }

@@ -1,0 +1,67 @@
+"""Principal Component Analysis, implemented on SVD (no sklearn offline).
+
+The paper reduces each image dataset to ``2^n`` features with PCA and
+normalizes the result for amplitude embedding (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+class PCA:
+    """Fit/transform PCA with ``num_components`` directions.
+
+    Components are deterministic up to sign; signs are fixed so the
+    largest-magnitude loading of each component is positive, making the
+    pipeline reproducible across runs and platforms.
+    """
+
+    def __init__(self, num_components: int) -> None:
+        if num_components < 1:
+            raise DataError("num_components must be positive")
+        self.num_components = num_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise DataError(f"expected 2-D data, got shape {data.shape}")
+        n_samples, n_features = data.shape
+        if self.num_components > min(n_samples, n_features):
+            raise DataError(
+                f"cannot extract {self.num_components} components from "
+                f"data of shape {data.shape}"
+            )
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[: self.num_components]
+        # Deterministic sign convention.
+        anchor = np.argmax(np.abs(components), axis=1)
+        signs = np.sign(components[np.arange(components.shape[0]), anchor])
+        signs[signs == 0] = 1.0
+        self.components_ = components * signs[:, None]
+        variance = (singular_values**2) / max(n_samples - 1, 1)
+        self.explained_variance_ = variance[: self.num_components]
+        self.explained_variance_ratio_ = self.explained_variance_ / variance.sum()
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise DataError("PCA.transform called before fit")
+        data = np.asarray(data, dtype=float)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise DataError("PCA.inverse_transform called before fit")
+        return np.asarray(features, dtype=float) @ self.components_ + self.mean_

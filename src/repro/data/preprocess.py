@@ -1,0 +1,75 @@
+"""Preprocessing pipeline: images -> PCA features -> unit amplitude vectors.
+
+Mirrors Sec. IV-B: reduce each dataset with PCA to ``2^n`` features, then
+normalize every feature vector for amplitude embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.pca import PCA
+from repro.errors import DataError
+
+
+def normalize_rows(features: np.ndarray, min_norm: float = 1e-12) -> np.ndarray:
+    """Scale every row to unit Euclidean norm (AE compatibility)."""
+    features = np.asarray(features, dtype=float)
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    if np.any(norms < min_norm):
+        raise DataError("a sample has (near-)zero norm and cannot be embedded")
+    return features / norms
+
+
+@dataclass
+class EmbeddingDataset:
+    """A dataset ready for amplitude embedding."""
+
+    name: str
+    amplitudes: np.ndarray  # (N, 2^n) unit rows
+    labels: np.ndarray  # (N,)
+    pca: PCA
+    raw_dim: int
+
+    @property
+    def num_samples(self) -> int:
+        return self.amplitudes.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.amplitudes.shape[1]
+
+    def classes(self) -> np.ndarray:
+        return np.unique(self.labels)
+
+    def class_slice(self, label: int) -> np.ndarray:
+        """Amplitude rows of one class."""
+        return self.amplitudes[self.labels == label]
+
+
+def prepare_embedding_dataset(
+    name: str,
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_features: int = 256,
+) -> EmbeddingDataset:
+    """PCA-reduce and normalize a raw image dataset (paper Sec. IV-B)."""
+    images = np.asarray(images, dtype=float)
+    labels = np.asarray(labels)
+    if images.ndim != 2 or images.shape[0] != labels.shape[0]:
+        raise DataError(
+            f"inconsistent dataset shapes {images.shape} / {labels.shape}"
+        )
+    if num_features & (num_features - 1):
+        raise DataError(f"num_features={num_features} is not a power of two")
+    pca = PCA(num_features)
+    features = pca.fit_transform(images)
+    return EmbeddingDataset(
+        name=name,
+        amplitudes=normalize_rows(features),
+        labels=labels,
+        pca=pca,
+        raw_dim=images.shape[1],
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate applications."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator receives an input it cannot execute."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for inconsistent noise-model definitions."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a circuit cannot be lowered to the target backend."""
+
+
+class StatePreparationError(ReproError):
+    """Raised for invalid amplitude-embedding targets (e.g. zero vectors)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when symbolic optimization cannot be set up or fails hard."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clustering configurations."""
+
+
+class DataError(ReproError):
+    """Raised by the dataset/preprocessing pipeline."""
+
+
+class BackendError(ReproError):
+    """Raised for invalid hardware/backend configurations."""

@@ -1,0 +1,57 @@
+"""Evaluation harness reproducing the paper's Figs. 6-9."""
+
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    Stats,
+    circuit_metrics_sweep,
+    run_fig6,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig9a,
+    run_fig9b,
+)
+from repro.evaluation.harness import main, render_all, run_all
+from repro.evaluation.noise_sweep import (
+    NoisePoint,
+    render_noise_sweep,
+    run_noise_sweep,
+)
+from repro.evaluation.scaling import ScalingRow, render_scaling, run_qubit_scaling
+from repro.evaluation.reporting import (
+    render_fig6,
+    render_fig7,
+    render_fig8a,
+    render_fig8b,
+    render_fig9a,
+    render_fig9b,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "NoisePoint",
+    "ScalingRow",
+    "Stats",
+    "render_noise_sweep",
+    "render_scaling",
+    "run_noise_sweep",
+    "run_qubit_scaling",
+    "circuit_metrics_sweep",
+    "main",
+    "render_all",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8a",
+    "render_fig8b",
+    "render_fig9a",
+    "render_fig9b",
+    "run_all",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig9a",
+    "run_fig9b",
+]

@@ -1,0 +1,66 @@
+"""One-shot harness: regenerate every figure and the EXPERIMENTS report.
+
+``python -m repro.evaluation.harness`` runs the full evaluation at the
+default (laptop-scale) configuration and prints the paper-figure tables;
+``run_all`` is the library entry point the benchmarks build on.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    circuit_metrics_sweep,
+    run_fig6,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig9a,
+    run_fig9b,
+)
+from repro.evaluation.reporting import (
+    render_fig6,
+    render_fig7,
+    render_fig8a,
+    render_fig8b,
+    render_fig9a,
+    render_fig9b,
+)
+
+
+def run_all(config: ExperimentConfig | None = None) -> dict:
+    """Run every figure experiment once; returns ``{figure_id: results}``."""
+    context = ExperimentContext(config)
+    sweep = circuit_metrics_sweep(context)
+    return {
+        "context": context,
+        "fig6": run_fig6(context, sweep),
+        "fig7": run_fig7(context, sweep),
+        "fig8a": run_fig8a(context),
+        "fig8b": run_fig8b(context),
+        "fig9a": run_fig9a(context, sweep),
+        "fig9b": run_fig9b(context),
+    }
+
+
+def render_all(results: dict) -> str:
+    """All figure tables as one report string."""
+    return "\n\n".join(
+        [
+            render_fig6(results["fig6"]),
+            render_fig7(results["fig7"]),
+            render_fig8a(results["fig8a"]),
+            render_fig8b(results["fig8b"]),
+            render_fig9a(results["fig9a"]),
+            render_fig9b(results["fig9b"]),
+        ]
+    )
+
+
+def main() -> None:
+    results = run_all()
+    print(render_all(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""ASCII rendering of experiment results in the paper's figure layout."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import Stats
+
+_DATASET_TITLES = {"mnist": "MNIST", "fmnist": "F-MNIST", "cifar": "CIFAR"}
+_METHOD_TITLES = {"baseline": "Baseline", "enqode": "EnQode"}
+
+
+def dataset_title(name: str) -> str:
+    return _DATASET_TITLES.get(name, name.upper())
+
+
+def format_stat(stats: Stats, digits: int = 1) -> str:
+    return f"{stats.mean:.{digits}f} ± {stats.std:.{digits}f}"
+
+
+def render_metric_table(
+    title: str,
+    results: dict,
+    metrics: "list[tuple[str, str, int]]",
+) -> str:
+    """Render ``{dataset: {method: {metric: Stats}}}`` as a fixed table.
+
+    ``metrics`` lists (key, column title, digits).
+    """
+    lines = [title, "=" * len(title)]
+    header = f"{'dataset':<10}{'method':<10}" + "".join(
+        f"{column:>24}" for _, column, _ in metrics
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, methods in results.items():
+        for method in ("baseline", "enqode"):
+            if method not in methods:
+                continue
+            row = f"{dataset_title(name):<10}{_METHOD_TITLES[method]:<10}"
+            for key, _, digits in metrics:
+                row += f"{format_stat(methods[method][key], digits):>24}"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_fig6(results: dict) -> str:
+    return render_metric_table(
+        "Fig. 6 — circuit depth and total physical gates",
+        results,
+        [("depth", "depth", 1), ("total_gates", "total gates", 1)],
+    )
+
+
+def render_fig7(results: dict) -> str:
+    return render_metric_table(
+        "Fig. 7 — physical one-qubit and two-qubit gates",
+        results,
+        [
+            ("one_qubit_gates", "1q gates", 1),
+            ("two_qubit_gates", "2q gates", 1),
+        ],
+    )
+
+
+def render_fig8a(results: dict) -> str:
+    lines = [
+        "Fig. 8(a) — ideal-simulation state fidelity",
+        "===========================================",
+        f"{'dataset':<10}{'Baseline':>18}{'EnQode':>18}",
+    ]
+    for name, methods in results.items():
+        lines.append(
+            f"{dataset_title(name):<10}"
+            f"{format_stat(methods['baseline'], 3):>18}"
+            f"{format_stat(methods['enqode'], 3):>18}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig8b(results: dict) -> str:
+    lines = [
+        "Fig. 8(b) — noisy-simulation state fidelity (FakeBrisbane)",
+        "==========================================================",
+        f"{'dataset':<10}{'Baseline':>18}{'EnQode':>18}{'improvement':>14}",
+    ]
+    for name, methods in results.items():
+        lines.append(
+            f"{dataset_title(name):<10}"
+            f"{format_stat(methods['baseline'], 4):>18}"
+            f"{format_stat(methods['enqode'], 4):>18}"
+            f"{methods['improvement']:>13.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_fig9a(results: dict) -> str:
+    lines = [
+        "Fig. 9(a) — online compilation time (seconds)",
+        "==============================================",
+        f"{'dataset':<10}{'Baseline':>22}{'EnQode':>22}{'std ratio':>12}",
+    ]
+    for name, methods in results.items():
+        base = methods["baseline"]["compile_time"]
+        enq = methods["enqode"]["compile_time"]
+        ratio = base.std / enq.std if enq.std > 0 else float("inf")
+        lines.append(
+            f"{dataset_title(name):<10}"
+            f"{format_stat(base, 4):>22}"
+            f"{format_stat(enq, 4):>22}"
+            f"{ratio:>11.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_fig9b(results: dict) -> str:
+    lines = [
+        "Fig. 9(b) — EnQode offline vs online compilation time",
+        "======================================================",
+        f"{'dataset':<10}{'clusters':>10}{'offline (s)':>14}"
+        f"{'online mean (s)':>18}",
+    ]
+    for name, row in results.items():
+        lines.append(
+            f"{dataset_title(name):<10}"
+            f"{row['num_clusters']:>10d}"
+            f"{row['offline_total']:>14.1f}"
+            f"{row['online'].mean:>18.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Hardware models: topology, native gate sets, calibrations, backends."""
+
+from repro.hardware.backend import (
+    Backend,
+    FakeBrisbane,
+    brisbane_linear_segment,
+    linear_backend,
+)
+from repro.hardware.calibration import (
+    BRISBANE_MEDIANS,
+    GateCalibration,
+    QubitCalibration,
+    sample_gate_calibrations,
+    sample_qubit_calibrations,
+)
+from repro.hardware.native_gates import IBM_EAGLE, IBM_HERON, NativeGateSet
+from repro.hardware.topology import CouplingMap, heavy_hex_127, linear_chain
+
+__all__ = [
+    "BRISBANE_MEDIANS",
+    "Backend",
+    "CouplingMap",
+    "FakeBrisbane",
+    "GateCalibration",
+    "IBM_EAGLE",
+    "IBM_HERON",
+    "NativeGateSet",
+    "QubitCalibration",
+    "brisbane_linear_segment",
+    "heavy_hex_127",
+    "linear_backend",
+    "linear_chain",
+    "sample_gate_calibrations",
+    "sample_qubit_calibrations",
+]

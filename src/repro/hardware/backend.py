@@ -1,0 +1,192 @@
+"""Backend model: topology + native gates + calibrations + noise model.
+
+:class:`FakeBrisbane` stands in for the paper's ``ibm_brisbane`` target:
+127 qubits on the Eagle heavy-hex lattice, native ``{ECR, Rz, SX, X}``,
+with deterministic per-qubit/per-gate calibrations.  The 8-qubit
+experiments run on :meth:`Backend.reduced` applied to a
+:meth:`~repro.hardware.topology.CouplingMap.linear_section` — exactly the
+"linear section of the heavy-hexagonal layout" of Sec. III-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.hardware.calibration import (
+    BRISBANE_MEDIANS,
+    GateCalibration,
+    QubitCalibration,
+    sample_gate_calibrations,
+    sample_qubit_calibrations,
+)
+from repro.hardware.native_gates import IBM_EAGLE, NativeGateSet
+from repro.hardware.topology import CouplingMap, heavy_hex_127, linear_chain
+from repro.quantum.channels import (
+    depolarizing_channel,
+    thermal_relaxation_channel,
+)
+from repro.quantum.noise_model import NoiseModel
+
+
+class Backend:
+    """A quantum device model the transpiler and simulators can target."""
+
+    def __init__(
+        self,
+        name: str,
+        coupling_map: CouplingMap,
+        native_gates: NativeGateSet,
+        qubit_calibrations: list[QubitCalibration],
+        gate_calibrations: dict[tuple[str, tuple[int, ...]], GateCalibration],
+    ) -> None:
+        if len(qubit_calibrations) != coupling_map.num_qubits:
+            raise BackendError(
+                "calibration list length does not match qubit count"
+            )
+        self.name = name
+        self.coupling_map = coupling_map
+        self.native_gates = native_gates
+        self.qubit_calibrations = qubit_calibrations
+        self.gate_calibrations = gate_calibrations
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling_map.num_qubits
+
+    def qubit(self, q: int) -> QubitCalibration:
+        return self.qubit_calibrations[q]
+
+    def gate_calibration(
+        self, gate_name: str, qubits: tuple[int, ...]
+    ) -> GateCalibration:
+        try:
+            return self.gate_calibrations[(gate_name, tuple(qubits))]
+        except KeyError:
+            raise BackendError(
+                f"no calibration for {gate_name!r} on {qubits}"
+            ) from None
+
+    # -- derived models ---------------------------------------------------------
+
+    def noise_model(self) -> NoiseModel:
+        """Depolarizing + thermal-relaxation noise from the calibrations.
+
+        Every native physical gate gets (i) a depolarizing channel with the
+        calibrated error probability on its qubits and (ii) per-qubit
+        thermal relaxation over the gate duration.  Virtual ``rz`` stays
+        noiseless — the property the EnQode ansatz exploits.
+        """
+        model = NoiseModel()
+        for (gate_name, qubits), cal in self.gate_calibrations.items():
+            if cal.error > 0.0:
+                model.add_quantum_error(
+                    depolarizing_channel(cal.error, len(qubits)),
+                    gate_name,
+                    qubits,
+                )
+            for q in qubits:
+                qcal = self.qubit_calibrations[q]
+                relax = thermal_relaxation_channel(
+                    qcal.t1, qcal.t2, cal.duration
+                )
+                if not relax.is_identity:
+                    model.add_quantum_error(
+                        relax, gate_name, qubits, targets=(q,)
+                    )
+        return model
+
+    def linear_section(self, length: int) -> list[int]:
+        return self.coupling_map.linear_section(length)
+
+    def reduced(self, physical_qubits: "list[int]") -> "Backend":
+        """Sub-backend on ``physical_qubits``, relabeled ``0..k-1``.
+
+        Calibrations (including both ECR orientations) are carried over for
+        every edge that survives in the induced subgraph.
+        """
+        index = {q: i for i, q in enumerate(physical_qubits)}
+        sub_map = self.coupling_map.subgraph(physical_qubits)
+        qubit_cals = [self.qubit_calibrations[q] for q in physical_qubits]
+        gate_cals: dict[tuple[str, tuple[int, ...]], GateCalibration] = {}
+        for (gate_name, qubits), cal in self.gate_calibrations.items():
+            if all(q in index for q in qubits):
+                gate_cals[(gate_name, tuple(index[q] for q in qubits))] = cal
+        return Backend(
+            name=f"{self.name}[{','.join(map(str, physical_qubits))}]",
+            coupling_map=sub_map,
+            native_gates=self.native_gates,
+            qubit_calibrations=qubit_cals,
+            gate_calibrations=gate_cals,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Backend({self.name!r}, qubits={self.num_qubits}, "
+            f"basis={sorted(self.native_gates.all_gates)})"
+        )
+
+
+class FakeBrisbane(Backend):
+    """127-qubit Eagle heavy-hex device with brisbane-scale calibrations."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        medians: dict | None = None,
+    ) -> None:
+        coupling = heavy_hex_127()
+        rng = np.random.default_rng(seed)
+        qubit_cals = sample_qubit_calibrations(
+            coupling.num_qubits, medians=medians, seed=rng
+        )
+        gate_cals = sample_gate_calibrations(
+            coupling.edges, coupling.num_qubits, medians=medians, seed=rng
+        )
+        super().__init__(
+            name="fake_brisbane",
+            coupling_map=coupling,
+            native_gates=IBM_EAGLE,
+            qubit_calibrations=qubit_cals,
+            gate_calibrations=gate_cals,
+        )
+
+
+def linear_backend(
+    num_qubits: int,
+    seed: int = 42,
+    medians: dict | None = None,
+    native_gates: NativeGateSet = IBM_EAGLE,
+) -> Backend:
+    """A standalone nearest-neighbor-chain backend (tests and ablations)."""
+    coupling = linear_chain(num_qubits)
+    rng = np.random.default_rng(seed)
+    return Backend(
+        name=f"linear_{num_qubits}_{native_gates.name}",
+        coupling_map=coupling,
+        native_gates=native_gates,
+        qubit_calibrations=sample_qubit_calibrations(
+            num_qubits, medians=medians, seed=rng
+        ),
+        gate_calibrations=sample_gate_calibrations(
+            coupling.edges,
+            num_qubits,
+            medians=medians,
+            seed=rng,
+            two_qubit_gate=native_gates.two_qubit_gate,
+        ),
+    )
+
+
+def brisbane_linear_segment(num_qubits: int = 8, seed: int = 42) -> Backend:
+    """The paper's experimental target: an ``num_qubits``-long linear
+    section of FakeBrisbane, relabeled ``0..num_qubits-1``."""
+    device = FakeBrisbane(seed=seed)
+    section = device.linear_section(num_qubits)
+    return device.reduced(section)
+
+
+#: Median calibration constants re-exported for experiment configuration.
+MEDIANS = dict(BRISBANE_MEDIANS)

@@ -1,0 +1,133 @@
+"""Calibration data: per-qubit coherence times and per-gate error/duration.
+
+Values are generated deterministically around the published medians of
+``ibm_brisbane`` so that noisy simulations reproduce the error *scales* the
+paper saw, without requiring network access to IBM's calibration service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """Coherence and readout figures for one physical qubit (times in s)."""
+
+    t1: float
+    t2: float
+    readout_error: float
+    frequency: float = 4.9e9
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise BackendError("coherence times must be positive")
+        if self.t2 > 2.0 * self.t1 + 1e-12:
+            raise BackendError(f"unphysical T2={self.t2} > 2*T1={2 * self.t1}")
+
+
+@dataclass(frozen=True)
+class GateCalibration:
+    """Error probability and duration (s) for one gate on specific qubits."""
+
+    error: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error <= 1.0:
+            raise BackendError(f"gate error {self.error} outside [0, 1]")
+        if self.duration < 0.0:
+            raise BackendError("gate duration must be nonnegative")
+
+
+#: Published ibm_brisbane medians (order of magnitude; see backend docstring).
+BRISBANE_MEDIANS = {
+    "t1": 220e-6,
+    "t2": 140e-6,
+    "sx_error": 2.3e-4,
+    "ecr_error": 7.5e-3,
+    "readout_error": 1.3e-2,
+    "sx_duration": 60e-9,
+    "ecr_duration": 660e-9,
+    "readout_duration": 1.2e-6,
+}
+
+
+def sample_qubit_calibrations(
+    num_qubits: int,
+    medians: dict | None = None,
+    seed: "int | np.random.Generator | None" = 42,
+) -> list[QubitCalibration]:
+    """Draw per-qubit calibrations log-normally spread around the medians."""
+    medians = dict(BRISBANE_MEDIANS, **(medians or {}))
+    rng = as_rng(seed)
+    calibrations = []
+    # Clip bounds are *relative* to the medians so that sweeps which scale
+    # the medians (e.g. the noise-crossover study) behave as intended.
+    for _ in range(num_qubits):
+        t1 = float(
+            np.clip(
+                medians["t1"] * rng.lognormal(0.0, 0.25),
+                0.25 * medians["t1"],
+                3.0 * medians["t1"],
+            )
+        )
+        t2_raw = float(medians["t2"] * rng.lognormal(0.0, 0.35))
+        t2 = float(np.clip(t2_raw, 0.15 * medians["t2"], 1.9 * t1))
+        readout = float(
+            np.clip(
+                medians["readout_error"] * rng.lognormal(0.0, 0.4),
+                0.1 * medians["readout_error"],
+                min(10.0 * medians["readout_error"], 0.5),
+            )
+        )
+        calibrations.append(
+            QubitCalibration(t1=t1, t2=t2, readout_error=readout)
+        )
+    return calibrations
+
+
+def sample_gate_calibrations(
+    edges: "list[tuple[int, int]]",
+    num_qubits: int,
+    medians: dict | None = None,
+    seed: "int | np.random.Generator | None" = 43,
+    two_qubit_gate: str = "ecr",
+) -> dict[tuple[str, tuple[int, ...]], GateCalibration]:
+    """Draw per-gate calibrations for 1q gates and every coupling edge.
+
+    ``two_qubit_gate`` names the entangler to calibrate ("ecr" for Eagle,
+    "cz" for Heron-class backends); error/duration medians come from the
+    ``ecr_*`` entries either way, matching the similar published figures
+    of the two gate families.
+    """
+    medians = dict(BRISBANE_MEDIANS, **(medians or {}))
+    rng = as_rng(seed)
+    table: dict[tuple[str, tuple[int, ...]], GateCalibration] = {}
+
+    def clipped_error(median: float) -> float:
+        sampled = median * rng.lognormal(0.0, 0.35)
+        return float(np.clip(sampled, 0.1 * median, min(10.0 * median, 0.5)))
+
+    for q in range(num_qubits):
+        cal = GateCalibration(
+            error=clipped_error(medians["sx_error"]),
+            duration=medians["sx_duration"],
+        )
+        table[("sx", (q,))] = cal
+        table[("x", (q,))] = cal
+    for a, b in edges:
+        cal = GateCalibration(
+            error=clipped_error(medians["ecr_error"]),
+            duration=medians["ecr_duration"],
+        )
+        # The entangler is calibrated per (unordered) pair; store both
+        # orientations.
+        table[(two_qubit_gate, (a, b))] = cal
+        table[(two_qubit_gate, (b, a))] = cal
+    return table

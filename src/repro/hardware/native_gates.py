@@ -1,0 +1,54 @@
+"""Native (basis) gate sets of the target hardware.
+
+The paper targets IBM Eagle-class devices whose native set is
+``{ECR, Rz, SX, X}`` with ``Rz`` implemented virtually (Sec. III-A).
+The set is modeled as data so the transpiler can, in principle, target
+other backends (e.g. a CZ-based device) — the ansatz section of the paper
+notes the design "can be designed for any other hardware basis".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NativeGateSet:
+    """The gate vocabulary a backend executes directly."""
+
+    name: str
+    one_qubit_gates: frozenset[str]
+    two_qubit_gate: str
+    virtual_gates: frozenset[str] = field(default_factory=frozenset)
+
+    def is_native(self, gate_name: str) -> bool:
+        return (
+            gate_name in self.one_qubit_gates
+            or gate_name == self.two_qubit_gate
+            or gate_name in self.virtual_gates
+        )
+
+    @property
+    def all_gates(self) -> frozenset[str]:
+        return (
+            self.one_qubit_gates
+            | {self.two_qubit_gate}
+            | self.virtual_gates
+        )
+
+
+#: IBM Eagle (ibm_brisbane and friends): ECR entangler, virtual Rz.
+IBM_EAGLE = NativeGateSet(
+    name="ibm_eagle",
+    one_qubit_gates=frozenset({"sx", "x"}),
+    two_qubit_gate="ecr",
+    virtual_gates=frozenset({"rz"}),
+)
+
+#: A CZ-based set (IBM Heron-like), used by the ablation studies.
+IBM_HERON = NativeGateSet(
+    name="ibm_heron",
+    one_qubit_gates=frozenset({"sx", "x"}),
+    two_qubit_gate="cz",
+    virtual_gates=frozenset({"rz"}),
+)

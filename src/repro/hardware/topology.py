@@ -1,0 +1,147 @@
+"""Device connectivity: coupling maps and the IBM heavy-hexagonal lattice.
+
+The paper transpiles everything onto ``ibm_brisbane`` (127-qubit Eagle,
+heavy-hex connectivity) and runs its 8-qubit experiments on a **linear
+section** of the lattice (Sec. III-A).  :func:`heavy_hex_127` builds the
+Eagle coupling graph; :meth:`CouplingMap.linear_section` extracts a
+simple path of the requested length.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import BackendError
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph with routing helpers."""
+
+    def __init__(self, edges: "list[tuple[int, int]]", num_qubits: int | None = None):
+        graph = nx.Graph()
+        if num_qubits is not None:
+            graph.add_nodes_from(range(num_qubits))
+        graph.add_edges_from((int(a), int(b)) for a, b in edges)
+        self.graph = graph
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return [tuple(sorted(e)) for e in self.graph.edges]
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> list[int]:
+        return sorted(self.graph.neighbors(qubit))
+
+    def distance(self, a: int, b: int) -> int:
+        try:
+            return nx.shortest_path_length(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise BackendError(f"qubits {a} and {b} are disconnected") from None
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        try:
+            return nx.shortest_path(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise BackendError(f"qubits {a} and {b} are disconnected") from None
+
+    # -- structure ------------------------------------------------------------
+
+    def linear_section(self, length: int) -> list[int]:
+        """Return ``length`` physical qubits forming a simple path.
+
+        Uses a greedy DFS preferring low-degree continuations (the natural
+        "edge of the lattice" walk that heavy-hex rows provide); raises if
+        the lattice has no such path.
+        """
+        if length < 1 or length > self.num_qubits:
+            raise BackendError(f"no linear section of length {length}")
+
+        def extend(path: list[int], seen: set[int]) -> list[int] | None:
+            if len(path) == length:
+                return path
+            nxt = sorted(
+                (n for n in self.graph.neighbors(path[-1]) if n not in seen),
+                key=lambda n: self.graph.degree(n),
+            )
+            for n in nxt:
+                seen.add(n)
+                path.append(n)
+                result = extend(path, seen)
+                if result is not None:
+                    return result
+                path.pop()
+                seen.remove(n)
+            return None
+
+        for start in sorted(self.graph.nodes, key=lambda n: self.graph.degree(n)):
+            result = extend([start], {start})
+            if result is not None:
+                return result
+        raise BackendError(f"no linear section of length {length} exists")
+
+    def subgraph(self, qubits: "list[int]") -> "CouplingMap":
+        """Coupling map induced on ``qubits``, relabeled to ``0..k-1``."""
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self.graph.edges
+            if a in index and b in index
+        ]
+        return CouplingMap(edges, num_qubits=len(qubits))
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingMap(qubits={self.num_qubits}, "
+            f"edges={self.graph.number_of_edges()})"
+        )
+
+
+def linear_chain(num_qubits: int) -> CouplingMap:
+    """A 1-D nearest-neighbor chain ``0-1-...-(n-1)``."""
+    return CouplingMap(
+        [(i, i + 1) for i in range(num_qubits - 1)], num_qubits=num_qubits
+    )
+
+
+def heavy_hex_127() -> CouplingMap:
+    """The 127-qubit IBM Eagle heavy-hex lattice (ibm_brisbane layout).
+
+    Seven horizontal rows of qubits joined by columns of bridge qubits;
+    bridge anchor offsets alternate between rows, producing the familiar
+    heavy-hexagon cells.
+    """
+    edges: list[tuple[int, int]] = []
+    # Row boundaries: (first qubit, length).
+    rows = [(0, 14), (18, 15), (37, 15), (56, 15), (75, 15), (94, 15), (113, 14)]
+    for start, length in rows:
+        edges.extend((q, q + 1) for q in range(start, start + length - 1))
+    # Bridge columns between consecutive rows: (bridge qubits, anchor offsets
+    # in the upper row, anchor offsets in the lower row).
+    bridges = [
+        ((14, 15, 16, 17), (0, 4, 8, 12), (0, 4, 8, 12)),
+        ((33, 34, 35, 36), (2, 6, 10, 14), (2, 6, 10, 14)),
+        ((52, 53, 54, 55), (0, 4, 8, 12), (0, 4, 8, 12)),
+        ((71, 72, 73, 74), (2, 6, 10, 14), (2, 6, 10, 14)),
+        ((90, 91, 92, 93), (0, 4, 8, 12), (0, 4, 8, 12)),
+        ((109, 110, 111, 112), (2, 6, 10, 14), (1, 5, 9, 13)),
+    ]
+    for row_idx, (bridge_qubits, upper_offsets, lower_offsets) in enumerate(bridges):
+        upper_start = rows[row_idx][0]
+        lower_start = rows[row_idx + 1][0]
+        for bridge, up_off, low_off in zip(
+            bridge_qubits, upper_offsets, lower_offsets
+        ):
+            edges.append((upper_start + up_off, bridge))
+            edges.append((bridge, lower_start + low_off))
+    return CouplingMap(edges, num_qubits=127)

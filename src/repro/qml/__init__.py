@@ -1,0 +1,6 @@
+"""Downstream QML: variational classification over embedded states."""
+
+from repro.qml.model import QMLClassifier, TrainingHistory
+from repro.qml.vqc import VariationalClassifier
+
+__all__ = ["QMLClassifier", "TrainingHistory", "VariationalClassifier"]

@@ -1,0 +1,85 @@
+"""A variational quantum circuit (VQC) classifier head.
+
+This is the downstream consumer in the paper's Fig. 1: an amplitude-
+embedding circuit followed by a trainable variational ansatz and a Pauli-Z
+readout.  The ansatz is the standard hardware-efficient stack of Ry/Rz
+rotation columns and a CX ring, which transpiles cleanly to the same
+linear section the embeddings target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+
+class VariationalClassifier:
+    """Binary classifier: sign of <Z_0> after a trainable circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width (must match the embedding circuits).
+    num_layers:
+        Ry/Rz + CX-ring layers; 2-3 suffice for the demo workloads.
+    """
+
+    def __init__(self, num_qubits: int, num_layers: int = 2) -> None:
+        if num_qubits < 2:
+            raise OptimizationError("VQC needs at least 2 qubits")
+        self.num_qubits = num_qubits
+        self.num_layers = num_layers
+
+    @property
+    def num_parameters(self) -> int:
+        """Two rotations per qubit per layer."""
+        return 2 * self.num_qubits * self.num_layers
+
+    def circuit(self, theta: np.ndarray) -> QuantumCircuit:
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.size != self.num_parameters:
+            raise OptimizationError(
+                f"expected {self.num_parameters} parameters, got {theta.size}"
+            )
+        qc = QuantumCircuit(self.num_qubits, name="vqc")
+        index = 0
+        for _ in range(self.num_layers):
+            for q in range(self.num_qubits):
+                qc.ry(float(theta[index]), q)
+                qc.rz(float(theta[index + 1]), q)
+                index += 2
+            # Entangle upward (control q+1 -> target q), sequentially from
+            # the last qubit: one layer cascades information from every
+            # qubit into the readout qubit 0.  (A downward chain would
+            # leave <Z_0> data-independent: qubit 0 would only ever act as
+            # a control.)
+            for q in range(self.num_qubits - 2, -1, -1):
+                qc.cx(q + 1, q)
+        return qc
+
+    # -- readout ------------------------------------------------------------------
+
+    def expectation_z0(
+        self, state: "Statevector | DensityMatrix", theta: np.ndarray
+    ) -> float:
+        """<Z_0> of the classifier circuit applied to an embedded state."""
+        circuit = self.circuit(theta)
+        if isinstance(state, Statevector):
+            evolved = state.copy().evolve(circuit)
+            probs = evolved.probabilities()
+        elif isinstance(state, DensityMatrix):
+            evolved = state.copy().evolve(circuit)
+            probs = evolved.probabilities()
+        else:
+            raise OptimizationError(f"unsupported state type {type(state)!r}")
+        # Qubit 0 is the most significant bit: Z_0 = +1 on the first half.
+        half = probs.size // 2
+        return float(probs[:half].sum() - probs[half:].sum())
+
+    def decision(self, state, theta: np.ndarray) -> int:
+        """Predicted label in {0, 1}."""
+        return int(self.expectation_z0(state, theta) < 0.0)

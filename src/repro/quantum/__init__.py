@@ -1,0 +1,75 @@
+"""Quantum substrate: gates, circuits, simulators, channels, and metrics.
+
+Endianness convention: **qubit 0 is the most significant bit** of a basis
+index everywhere in this package.
+"""
+
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.gates import (
+    STANDARD_GATES,
+    VIRTUAL_GATE_NAMES,
+    Gate,
+    gate,
+    unitary_gate,
+)
+from repro.quantum.instruction import Instruction
+from repro.quantum.measurement import (
+    Counts,
+    apply_readout_error,
+    backend_readout_errors,
+    sample_counts,
+)
+from repro.quantum.noise_model import NoiseModel
+from repro.quantum.random import (
+    random_real_amplitudes,
+    random_statevector,
+    random_unitary,
+)
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+from repro.quantum.statevector import Statevector, simulate_statevector
+from repro.quantum.states import purity, state_fidelity, trace_distance
+
+__all__ = [
+    "STANDARD_GATES",
+    "VIRTUAL_GATE_NAMES",
+    "Counts",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "Gate",
+    "Instruction",
+    "KrausChannel",
+    "NoiseModel",
+    "QuantumCircuit",
+    "Statevector",
+    "StatevectorSimulator",
+    "amplitude_damping_channel",
+    "apply_readout_error",
+    "backend_readout_errors",
+    "sample_counts",
+    "bit_flip_channel",
+    "depolarizing_channel",
+    "gate",
+    "identity_channel",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "purity",
+    "random_real_amplitudes",
+    "random_statevector",
+    "random_unitary",
+    "simulate_statevector",
+    "state_fidelity",
+    "thermal_relaxation_channel",
+    "trace_distance",
+    "unitary_gate",
+]

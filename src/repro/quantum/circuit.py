@@ -1,0 +1,260 @@
+"""Instruction-list quantum circuit model.
+
+This is the circuit representation every other subsystem builds on: the
+baseline state-preparation synthesizer emits one, the transpiler rewrites
+one, and both simulators consume one.  The model is deliberately simple —
+an ordered list of :class:`~repro.quantum.instruction.Instruction` — with
+convenience appenders for each standard gate and structural queries (depth,
+gate counts) used by the paper's metrics.
+
+Depth and gate-count queries accept ``physical_only`` so callers can
+reproduce the paper's accounting, which excludes virtual ``Rz`` gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum.gates import Gate, gate, unitary_gate
+from repro.quantum.instruction import Instruction
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates over ``num_qubits`` qubits.
+
+    Example
+    -------
+    >>> qc = QuantumCircuit(2)
+    >>> qc.h(0).cx(0, 1)                      # doctest: +ELLIPSIS
+    <repro.quantum.circuit.QuantumCircuit object at ...>
+    >>> qc.depth()
+    2
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: list[Instruction] = []
+
+    # -- structural access --------------------------------------------------
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        """The instruction list (mutable; treat as append-mostly)."""
+        return self._instructions
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    # -- building -----------------------------------------------------------
+
+    def append(self, gate_obj: Gate, qubits: Iterable[int]) -> "QuantumCircuit":
+        """Append ``gate_obj`` on ``qubits``; returns self for chaining."""
+        instr = Instruction(gate_obj, tuple(qubits))
+        if any(q >= self.num_qubits for q in instr.qubits):
+            raise CircuitError(
+                f"qubits {instr.qubits} out of range for "
+                f"{self.num_qubits}-qubit circuit"
+            )
+        self._instructions.append(instr)
+        return self
+
+    def _std(self, name: str, qubits: tuple[int, ...], *params: float):
+        return self.append(gate(name, *params), qubits)
+
+    def id(self, q: int):
+        return self._std("id", (q,))
+
+    def x(self, q: int):
+        return self._std("x", (q,))
+
+    def y(self, q: int):
+        return self._std("y", (q,))
+
+    def z(self, q: int):
+        return self._std("z", (q,))
+
+    def h(self, q: int):
+        return self._std("h", (q,))
+
+    def s(self, q: int):
+        return self._std("s", (q,))
+
+    def sdg(self, q: int):
+        return self._std("sdg", (q,))
+
+    def t(self, q: int):
+        return self._std("t", (q,))
+
+    def tdg(self, q: int):
+        return self._std("tdg", (q,))
+
+    def sx(self, q: int):
+        return self._std("sx", (q,))
+
+    def sxdg(self, q: int):
+        return self._std("sxdg", (q,))
+
+    def rx(self, theta: float, q: int):
+        return self._std("rx", (q,), theta)
+
+    def ry(self, theta: float, q: int):
+        return self._std("ry", (q,), theta)
+
+    def rz(self, theta: float, q: int):
+        return self._std("rz", (q,), theta)
+
+    def p(self, theta: float, q: int):
+        return self._std("p", (q,), theta)
+
+    def u(self, theta: float, phi: float, lam: float, q: int):
+        return self._std("u", (q,), theta, phi, lam)
+
+    def cx(self, control: int, target: int):
+        return self._std("cx", (control, target))
+
+    def cy(self, control: int, target: int):
+        return self._std("cy", (control, target))
+
+    def cz(self, control: int, target: int):
+        return self._std("cz", (control, target))
+
+    def cp(self, theta: float, control: int, target: int):
+        return self._std("cp", (control, target), theta)
+
+    def crz(self, theta: float, control: int, target: int):
+        return self._std("crz", (control, target), theta)
+
+    def cry(self, theta: float, control: int, target: int):
+        return self._std("cry", (control, target), theta)
+
+    def swap(self, a: int, b: int):
+        return self._std("swap", (a, b))
+
+    def ecr(self, a: int, b: int):
+        return self._std("ecr", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int):
+        return self._std("rzz", (a, b), theta)
+
+    def unitary(self, matrix: np.ndarray, qubits: Iterable[int], label="unitary"):
+        return self.append(unitary_gate(matrix, label), tuple(qubits))
+
+    # -- composition --------------------------------------------------------
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Iterable[int] | None = None
+    ) -> "QuantumCircuit":
+        """Append all of ``other``'s instructions onto this circuit.
+
+        ``qubits`` maps ``other``'s qubit ``i`` to ``qubits[i]`` here;
+        by default qubits are matched by index.
+        """
+        if qubits is None:
+            mapping = {q: q for q in range(other.num_qubits)}
+        else:
+            positions = list(qubits)
+            if len(positions) != other.num_qubits:
+                raise CircuitError(
+                    f"compose mapping has {len(positions)} entries for a "
+                    f"{other.num_qubits}-qubit circuit"
+                )
+            mapping = {i: positions[i] for i in range(other.num_qubits)}
+        for instr in other:
+            self.append(instr.gate, tuple(mapping[q] for q in instr.qubits))
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return a new circuit implementing the adjoint unitary."""
+        inv = QuantumCircuit(self.num_qubits, name=self.name + "_dg")
+        for instr in reversed(self._instructions):
+            inv.append(instr.gate.inverse(), instr.qubits)
+        return inv
+
+    def copy(self) -> "QuantumCircuit":
+        dup = QuantumCircuit(self.num_qubits, name=self.name)
+        dup._instructions = list(self._instructions)
+        return dup
+
+    # -- analysis -----------------------------------------------------------
+
+    def depth(self, physical_only: bool = False) -> int:
+        """Longest gate-dependency chain.
+
+        With ``physical_only=True``, virtual gates (``Rz`` and friends) do
+        not advance the depth counter — the accounting used throughout the
+        paper's evaluation.
+        """
+        frontier = [0] * self.num_qubits
+        for instr in self._instructions:
+            if physical_only and instr.is_virtual:
+                continue
+            level = 1 + max(frontier[q] for q in instr.qubits)
+            for q in instr.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def count_ops(self, physical_only: bool = False) -> dict[str, int]:
+        """Histogram of gate names, optionally skipping virtual gates."""
+        counts: dict[str, int] = {}
+        for instr in self._instructions:
+            if physical_only and instr.is_virtual:
+                continue
+            counts[instr.name] = counts.get(instr.name, 0) + 1
+        return counts
+
+    def num_gates(self, physical_only: bool = False) -> int:
+        if not physical_only:
+            return len(self._instructions)
+        return sum(1 for instr in self._instructions if not instr.is_virtual)
+
+    def num_one_qubit_gates(self, physical_only: bool = False) -> int:
+        return sum(
+            1
+            for instr in self._instructions
+            if instr.gate.num_qubits == 1
+            and not (physical_only and instr.is_virtual)
+        )
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for i in self._instructions if i.gate.num_qubits == 2)
+
+    def qubits_used(self) -> set[int]:
+        used: set[int] = set()
+        for instr in self._instructions:
+            used.update(instr.qubits)
+        return used
+
+    # -- dense matrix (small circuits only; used in tests) -------------------
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (exponential; tests only)."""
+        dim = 2**self.num_qubits
+        if dim > 1024:
+            raise CircuitError("to_matrix() limited to <= 10 qubits")
+        from repro.quantum.statevector import apply_gate_to_tensor
+
+        mat = np.eye(dim, dtype=complex)
+        tensor = mat.reshape((2,) * self.num_qubits + (dim,))
+        for instr in self._instructions:
+            tensor = apply_gate_to_tensor(
+                tensor, instr.gate.matrix, instr.qubits, self.num_qubits
+            )
+        return tensor.reshape(dim, dim)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._instructions)})"
+        )

@@ -1,0 +1,155 @@
+"""Density-matrix simulation with Kraus-channel noise.
+
+The density matrix of an ``n``-qubit register is stored as a
+``2^n x 2^n`` array; gate and channel application reshape it into a
+``(2,)*2n`` tensor whose first ``n`` axes index rows (kets) and last ``n``
+axes index columns (bras).  A unitary ``U`` acts as ``U rho U^dagger`` —
+one contraction on the ket axes and one conjugated contraction on the bra
+axes — which keeps the cost per gate at ``O(4^n * 4^k)`` instead of
+materializing ``4^n x 4^n`` superoperators.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.quantum.channels import KrausChannel
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector, contract_op
+
+
+class DensityMatrix:
+    """A mixed quantum state rho with evolution and query methods."""
+
+    def __init__(self, data: np.ndarray, validate: bool = True) -> None:
+        mat = np.asarray(data, dtype=complex)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise SimulationError("density matrix must be square")
+        num_qubits = int(round(math.log2(mat.shape[0])))
+        if 2**num_qubits != mat.shape[0]:
+            raise SimulationError("density matrix dim is not a power of two")
+        if validate:
+            if abs(np.trace(mat) - 1.0) > 1e-6:
+                raise SimulationError("density matrix trace != 1")
+            if not np.allclose(mat, mat.conj().T, atol=1e-8):
+                raise SimulationError("density matrix is not Hermitian")
+        self.num_qubits = num_qubits
+        self.data = mat
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        mat = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+        mat[0, 0] = 1.0
+        return cls(mat, validate=False)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector | np.ndarray) -> "DensityMatrix":
+        vec = state.data if isinstance(state, Statevector) else np.asarray(state)
+        return cls(np.outer(vec, vec.conj()), validate=False)
+
+    # -- evolution ----------------------------------------------------------
+
+    def _as_tensor(self) -> np.ndarray:
+        return self.data.reshape((2,) * (2 * self.num_qubits))
+
+    def apply_unitary(
+        self, matrix: np.ndarray, qubits: tuple[int, ...]
+    ) -> "DensityMatrix":
+        """rho -> U rho U^dagger on the given qubits (in place)."""
+        n = self.num_qubits
+        tensor = self._as_tensor()
+        tensor = contract_op(tensor, matrix, qubits)
+        bra_axes = tuple(q + n for q in qubits)
+        tensor = contract_op(tensor, np.conj(matrix), bra_axes)
+        self.data = tensor.reshape(2**n, 2**n)
+        return self
+
+    def apply_channel(
+        self, channel: KrausChannel, qubits: tuple[int, ...]
+    ) -> "DensityMatrix":
+        """Apply a CPTP map to the given qubits (in place).
+
+        Uses the channel's cached superoperator: one contraction over the
+        ket *and* bra axes, independent of the Kraus-operator count.
+        """
+        if channel.num_qubits != len(qubits):
+            raise SimulationError(
+                f"channel acts on {channel.num_qubits} qubits, got {qubits}"
+            )
+        return self.apply_superop(
+            channel.superoperator_tensor().reshape(
+                4**channel.num_qubits, 4**channel.num_qubits
+            ),
+            qubits,
+        )
+
+    def apply_superop(
+        self, matrix: np.ndarray, qubits: tuple[int, ...]
+    ) -> "DensityMatrix":
+        """Apply a ``4^k x 4^k`` superoperator matrix to ``qubits``.
+
+        Layout convention: row/column indices flatten ``(ket, bra)``
+        ket-major, i.e. the matrix equals ``sum_i K_i (x) conj(K_i)`` for a
+        Kraus channel and ``U (x) conj(U)`` for a unitary.
+        """
+        n = self.num_qubits
+        axes = tuple(qubits) + tuple(q + n for q in qubits)
+        tensor = contract_op(self._as_tensor(), matrix, axes)
+        self.data = tensor.reshape(2**n, 2**n)
+        return self
+
+    def evolve(self, circuit: QuantumCircuit) -> "DensityMatrix":
+        """Apply ``circuit`` unitarily (no noise)."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError("circuit/state qubit count mismatch")
+        for instr in circuit:
+            self.apply_unitary(instr.gate.matrix, instr.qubits)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def probabilities(self) -> np.ndarray:
+        return np.real(np.diag(self.data)).clip(min=0.0)
+
+    def expectation(self, observable: np.ndarray) -> float:
+        return float(np.real(np.trace(observable @ self.data)))
+
+    def partial_trace(self, keep: tuple[int, ...]) -> "DensityMatrix":
+        """Trace out all qubits not listed in ``keep``."""
+        n = self.num_qubits
+        keep = tuple(keep)
+        drop = [q for q in range(n) if q not in keep]
+        tensor = self._as_tensor()
+        for offset, q in enumerate(sorted(drop)):
+            axis = q - offset
+            n_remaining = tensor.ndim // 2
+            tensor = np.trace(tensor, axis1=axis, axis2=axis + n_remaining)
+        dim = 2 ** len(keep)
+        reduced = tensor.reshape(dim, dim)
+        # Axis order after tracing follows the original qubit order; permute
+        # to the order requested in ``keep``.
+        order = np.argsort(np.argsort(keep))
+        if not np.array_equal(order, np.arange(len(keep))):
+            k = len(keep)
+            t = reduced.reshape((2,) * (2 * k))
+            perm = list(order) + [o + k for o in order]
+            t = np.transpose(t, perm)
+            reduced = t.reshape(dim, dim)
+        return DensityMatrix(reduced, validate=False)
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(self.data.copy(), validate=False)
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self.num_qubits})"

@@ -1,0 +1,260 @@
+"""Gate library: matrices and metadata for every gate used in the stack.
+
+Conventions
+-----------
+* Matrices are written in **big-endian** order over the gate's qubit tuple:
+  for a two-qubit gate applied to ``(a, b)``, basis index ``2*bit_a + bit_b``.
+* Rotation gates follow the half-angle convention,
+  ``Rz(theta) = diag(exp(-i theta/2), exp(+i theta/2))``.
+* ``is_virtual`` marks diagonal single-qubit phase gates (``Rz``, ``Z``,
+  ``S``, ``T``, ``P`` ...) that IBM hardware implements as software frame
+  changes.  They cost zero duration and zero error and are excluded from
+  all physical-gate metrics, exactly as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+# Names of gates that are implemented virtually (software frame change).
+VIRTUAL_GATE_NAMES = frozenset({"rz", "z", "s", "sdg", "t", "tdg", "p", "id"})
+
+# Names of two-qubit gates known to the library.
+TWO_QUBIT_GATE_NAMES = frozenset(
+    {"cx", "cy", "cz", "ch", "cp", "crz", "cry", "ecr", "swap", "iswap", "rzz"}
+)
+
+
+class Gate:
+    """An immutable quantum gate: a name, parameters, and a unitary matrix.
+
+    Parameters
+    ----------
+    name:
+        Lowercase gate mnemonic (``"rz"``, ``"cx"``, ...).
+    num_qubits:
+        Arity of the gate.
+    params:
+        Tuple of real parameters (rotation angles).
+    matrix:
+        The ``2^k x 2^k`` unitary, big-endian over the qubit tuple.
+    """
+
+    __slots__ = ("name", "num_qubits", "params", "_matrix")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        params: tuple[float, ...],
+        matrix: np.ndarray,
+    ) -> None:
+        self.name = name
+        self.num_qubits = num_qubits
+        self.params = tuple(float(p) for p in params)
+        mat = np.asarray(matrix, dtype=complex)
+        expected = 2**num_qubits
+        if mat.shape != (expected, expected):
+            raise CircuitError(
+                f"gate {name!r} matrix shape {mat.shape} does not match "
+                f"{num_qubits} qubits"
+            )
+        mat.setflags(write=False)
+        self._matrix = mat
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The gate unitary (read-only view)."""
+        return self._matrix
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for zero-cost software gates (diagonal phase gates)."""
+        return self.name in VIRTUAL_GATE_NAMES
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.num_qubits == 2
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (dagger), preserving names when known."""
+        inverse_names = {
+            "s": "sdg",
+            "sdg": "s",
+            "t": "tdg",
+            "tdg": "t",
+            "sx": "sxdg",
+            "sxdg": "sx",
+        }
+        if self.name in inverse_names:
+            return STANDARD_GATES[inverse_names[self.name]]()
+        if self.name in {"rx", "ry", "rz", "p", "cp", "crz", "cry", "rzz"}:
+            return STANDARD_GATES[self.name](-self.params[0])
+        if self.name == "u":
+            theta, phi, lam = self.params
+            return STANDARD_GATES["u"](-theta, -lam, -phi)
+        # Self-inverse or generic: fall back to the conjugate transpose.
+        dagger = self._matrix.conj().T
+        if np.allclose(dagger, self._matrix):
+            return self
+        return Gate(self.name + "_dg", self.num_qubits, self.params, dagger)
+
+    def __repr__(self) -> str:
+        if self.params:
+            args = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"Gate({self.name}({args}), qubits={self.num_qubits})"
+        return f"Gate({self.name}, qubits={self.num_qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.num_qubits == other.num_qubits
+            and np.allclose(self.params, other.params)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_qubits, self.params))
+
+
+# ---------------------------------------------------------------------------
+# Matrix constructors
+# ---------------------------------------------------------------------------
+
+def _rx_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-0.5j * theta), 0.0], [0.0, np.exp(0.5j * theta)]]
+    )
+
+
+def _p_matrix(theta: float) -> np.ndarray:
+    return np.array([[1.0, 0.0], [0.0, np.exp(1j * theta)]])
+
+
+def _u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    """Two-qubit controlled-U, control = first (most significant) qubit."""
+    mat = np.eye(4, dtype=complex)
+    mat[2:, 2:] = u
+    return mat
+
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]])
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = _SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+_S = np.diag([1.0, 1j])
+_SDG = np.diag([1.0, -1j])
+_T = np.diag([1.0, np.exp(0.25j * math.pi)])
+_TDG = np.diag([1.0, np.exp(-0.25j * math.pi)])
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+_SXDG = _SX.conj().T
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+)
+# Echoed cross-resonance gate: (1/sqrt2) (I (x) X  -  X (x) Y), Hermitian and
+# unitary, locally equivalent to CX.  First factor acts on the first qubit.
+_ECR = _SQRT2_INV * (np.kron(_I, _X) - np.kron(_X, _Y))
+
+
+def _rzz_matrix(theta: float) -> np.ndarray:
+    phase = np.exp(0.5j * theta)
+    return np.diag([1 / phase, phase, phase, 1 / phase])
+
+
+# Registry: name -> constructor returning a Gate.
+STANDARD_GATES: dict[str, Callable[..., Gate]] = {
+    "id": lambda: Gate("id", 1, (), _I),
+    "x": lambda: Gate("x", 1, (), _X),
+    "y": lambda: Gate("y", 1, (), _Y),
+    "z": lambda: Gate("z", 1, (), _Z),
+    "h": lambda: Gate("h", 1, (), _H),
+    "s": lambda: Gate("s", 1, (), _S),
+    "sdg": lambda: Gate("sdg", 1, (), _SDG),
+    "t": lambda: Gate("t", 1, (), _T),
+    "tdg": lambda: Gate("tdg", 1, (), _TDG),
+    "sx": lambda: Gate("sx", 1, (), _SX),
+    "sxdg": lambda: Gate("sxdg", 1, (), _SXDG),
+    "rx": lambda theta: Gate("rx", 1, (theta,), _rx_matrix(theta)),
+    "ry": lambda theta: Gate("ry", 1, (theta,), _ry_matrix(theta)),
+    "rz": lambda theta: Gate("rz", 1, (theta,), _rz_matrix(theta)),
+    "p": lambda theta: Gate("p", 1, (theta,), _p_matrix(theta)),
+    "u": lambda theta, phi, lam: Gate(
+        "u", 1, (theta, phi, lam), _u_matrix(theta, phi, lam)
+    ),
+    "cx": lambda: Gate("cx", 2, (), _controlled(_X)),
+    "cy": lambda: Gate("cy", 2, (), _controlled(_Y)),
+    "cz": lambda: Gate("cz", 2, (), _controlled(_Z)),
+    "ch": lambda: Gate("ch", 2, (), _controlled(_H)),
+    "cp": lambda theta: Gate("cp", 2, (theta,), _controlled(_p_matrix(theta))),
+    "crz": lambda theta: Gate(
+        "crz", 2, (theta,), _controlled(_rz_matrix(theta))
+    ),
+    "cry": lambda theta: Gate(
+        "cry", 2, (theta,), _controlled(_ry_matrix(theta))
+    ),
+    "swap": lambda: Gate("swap", 2, (), _SWAP),
+    "iswap": lambda: Gate("iswap", 2, (), _ISWAP),
+    "ecr": lambda: Gate("ecr", 2, (), _ECR),
+    "rzz": lambda theta: Gate("rzz", 2, (theta,), _rzz_matrix(theta)),
+}
+
+
+def gate(name: str, *params: float) -> Gate:
+    """Look up a standard gate by name and construct it.
+
+    >>> gate("rz", 0.5).name
+    'rz'
+    """
+    try:
+        ctor = STANDARD_GATES[name]
+    except KeyError:
+        raise CircuitError(f"unknown gate {name!r}") from None
+    return ctor(*params)
+
+
+def unitary_gate(matrix: np.ndarray, label: str = "unitary") -> Gate:
+    """Wrap an arbitrary unitary matrix as a gate.
+
+    The matrix must be square with power-of-two dimension; unitarity is
+    validated (this catches accidentally transposed Kraus operators early).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    dim = matrix.shape[0]
+    num_qubits = int(round(math.log2(dim)))
+    if 2**num_qubits != dim or matrix.shape != (dim, dim):
+        raise CircuitError(f"matrix of shape {matrix.shape} is not a qubit gate")
+    if not np.allclose(matrix.conj().T @ matrix, np.eye(dim), atol=1e-9):
+        raise CircuitError(f"matrix for {label!r} is not unitary")
+    return Gate(label, num_qubits, (), matrix)

@@ -1,0 +1,58 @@
+"""A single circuit instruction: a gate bound to concrete qubit indices."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CircuitError
+from repro.quantum.gates import Gate
+
+
+class Instruction:
+    """A :class:`Gate` applied to an ordered tuple of qubit indices."""
+
+    __slots__ = ("gate", "qubits")
+
+    def __init__(self, gate: Gate, qubits: tuple[int, ...]) -> None:
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate {gate.name!r} expects {gate.num_qubits} qubits, "
+                f"got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits {qubits} for gate {gate.name!r}")
+        if any(q < 0 for q in qubits):
+            raise CircuitError(f"negative qubit index in {qubits}")
+        self.gate = gate
+        self.qubits = qubits
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.gate.is_virtual
+
+    def remap(self, mapping: dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices pushed through ``mapping``."""
+        return Instruction(self.gate, tuple(mapping[q] for q in self.qubits))
+
+    def inverse(self) -> "Instruction":
+        return Instruction(self.gate.inverse(), self.qubits)
+
+    def __iter__(self) -> Iterator:
+        yield self.gate
+        yield self.qubits
+
+    def __repr__(self) -> str:
+        return f"Instruction({self.gate!r}, qubits={self.qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self.gate == other.gate and self.qubits == other.qubits
+
+    def __hash__(self) -> int:
+        return hash((self.gate, self.qubits))

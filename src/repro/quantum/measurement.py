@@ -1,0 +1,113 @@
+"""Computational-basis measurement: sampling and readout error.
+
+The paper's metrics are density-matrix fidelities (no sampling), but a
+usable QML stack needs shot-based readout too: examples and the VQC can
+run with finite shots, and the backend's calibrated readout error can be
+applied as a classical confusion process (the standard Aer model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+from repro.utils.rng import as_rng
+
+
+class Counts(dict):
+    """Measurement outcomes: bitstring -> count (qubit 0 leftmost)."""
+
+    @property
+    def shots(self) -> int:
+        return sum(self.values())
+
+    def probability(self, bitstring: str) -> float:
+        return self.get(bitstring, 0) / self.shots if self.shots else 0.0
+
+    def expectation_z(self, qubit: int) -> float:
+        """<Z_qubit> estimated from the counts."""
+        total = 0
+        for bitstring, count in self.items():
+            total += count if bitstring[qubit] == "0" else -count
+        return total / self.shots if self.shots else 0.0
+
+    def most_frequent(self) -> str:
+        if not self:
+            raise SimulationError("no counts recorded")
+        return max(self, key=self.get)
+
+
+def _probabilities(state: "Statevector | DensityMatrix | np.ndarray"):
+    if isinstance(state, (Statevector, DensityMatrix)):
+        probs = state.probabilities()
+        num_qubits = state.num_qubits
+    else:
+        arr = np.asarray(state)
+        if arr.ndim == 1:
+            probs = np.abs(arr) ** 2
+        else:
+            probs = np.real(np.diag(arr)).clip(min=0.0)
+        num_qubits = int(round(np.log2(probs.size)))
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state probabilities sum to {total:.6f}")
+    return probs / total, num_qubits
+
+
+def apply_readout_error(
+    probs: np.ndarray,
+    readout_errors: "list[float]",
+) -> np.ndarray:
+    """Push basis-state probabilities through per-qubit bit-flip confusion.
+
+    ``readout_errors[q]`` is the symmetric misassignment probability of
+    qubit ``q`` (the backend's calibrated ``readout_error``).
+    """
+    num_qubits = int(round(np.log2(probs.size)))
+    if len(readout_errors) != num_qubits:
+        raise SimulationError(
+            f"{len(readout_errors)} readout errors for {num_qubits} qubits"
+        )
+    out = np.asarray(probs, dtype=float)
+    for q, eps in enumerate(readout_errors):
+        if eps == 0.0:
+            continue
+        confusion = np.array([[1 - eps, eps], [eps, 1 - eps]])
+        tensor = out.reshape((2,) * num_qubits)
+        tensor = np.moveaxis(
+            np.tensordot(confusion, tensor, axes=([1], [q])), 0, q
+        )
+        out = tensor.reshape(-1)
+    return out
+
+
+def sample_counts(
+    state,
+    shots: int = 1024,
+    seed: "int | np.random.Generator | None" = None,
+    readout_errors: "list[float] | None" = None,
+) -> Counts:
+    """Sample ``shots`` computational-basis outcomes from ``state``.
+
+    Accepts a :class:`Statevector`, :class:`DensityMatrix`, or raw array;
+    optionally applies per-qubit readout confusion first.
+    """
+    if shots < 1:
+        raise SimulationError("shots must be positive")
+    probs, num_qubits = _probabilities(state)
+    if readout_errors is not None:
+        probs = apply_readout_error(probs, readout_errors)
+    rng = as_rng(seed)
+    outcomes = rng.multinomial(shots, probs)
+    counts = Counts()
+    for index in np.nonzero(outcomes)[0]:
+        bitstring = format(index, f"0{num_qubits}b")
+        counts[bitstring] = int(outcomes[index])
+    return counts
+
+
+def backend_readout_errors(backend) -> "list[float]":
+    """Per-qubit readout-error list from a backend's calibrations."""
+    return [backend.qubit(q).readout_error for q in range(backend.num_qubits)]

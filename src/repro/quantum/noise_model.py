@@ -1,0 +1,115 @@
+"""Noise-model container mapping circuit instructions to error channels.
+
+A :class:`NoiseModel` attaches :class:`~repro.quantum.channels.KrausChannel`
+errors to gates, either for every occurrence of a gate name
+(:meth:`add_all_qubit_quantum_error`) or for a gate name on specific qubits
+(:meth:`add_quantum_error`), mirroring the qiskit-aer API surface that the
+paper's noisy simulations rely on.  Each rule may target a subset of the
+instruction's qubits, which is how per-qubit T1/T2 relaxation is attached
+to two-qubit gates.  Virtual gates never acquire noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import NoiseModelError
+from repro.quantum.channels import KrausChannel
+from repro.quantum.gates import VIRTUAL_GATE_NAMES
+from repro.quantum.instruction import Instruction
+
+# A noise rule: the channel plus the absolute qubits it acts on.
+NoiseRule = tuple[KrausChannel, tuple[int, ...]]
+
+
+class NoiseModel:
+    """Per-gate, per-qubit error channels applied after each instruction."""
+
+    def __init__(self) -> None:
+        self._local: dict[tuple[str, tuple[int, ...]], list[NoiseRule]] = {}
+        self._default: dict[str, list[KrausChannel]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_all_qubit_quantum_error(
+        self, channel: KrausChannel, gate_names: "str | Iterable[str]"
+    ) -> None:
+        """Attach ``channel`` to every occurrence of the named gates.
+
+        One-qubit channels on multi-qubit gates are applied independently to
+        each qubit the gate touches.
+        """
+        if isinstance(gate_names, str):
+            gate_names = [gate_names]
+        for name in gate_names:
+            self._check_not_virtual(name)
+            self._default.setdefault(name, []).append(channel)
+
+    def add_quantum_error(
+        self,
+        channel: KrausChannel,
+        gate_name: str,
+        qubits: tuple[int, ...],
+        targets: tuple[int, ...] | None = None,
+    ) -> None:
+        """Attach ``channel`` to ``gate_name`` occurring on exactly ``qubits``.
+
+        ``targets`` selects which qubits the channel acts on (defaults to all
+        of ``qubits``); it must be a subset of ``qubits`` whose length matches
+        the channel arity.
+        """
+        self._check_not_virtual(gate_name)
+        qubits = tuple(qubits)
+        targets = qubits if targets is None else tuple(targets)
+        if any(t not in qubits for t in targets):
+            raise NoiseModelError(
+                f"noise targets {targets} not within gate qubits {qubits}"
+            )
+        if channel.num_qubits != len(targets):
+            raise NoiseModelError(
+                f"channel arity {channel.num_qubits} does not match "
+                f"targets {targets}"
+            )
+        key = (gate_name, qubits)
+        self._local.setdefault(key, []).append((channel, targets))
+
+    @staticmethod
+    def _check_not_virtual(name: str) -> None:
+        if name in VIRTUAL_GATE_NAMES:
+            raise NoiseModelError(
+                f"gate {name!r} is virtual and cannot carry noise"
+            )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def rules_for(self, instruction: Instruction) -> list[NoiseRule]:
+        """All (channel, target qubits) pairs to apply after ``instruction``."""
+        if instruction.is_virtual:
+            return []
+        rules = list(self._local.get((instruction.name, instruction.qubits), ()))
+        for channel in self._default.get(instruction.name, ()):
+            if channel.num_qubits == len(instruction.qubits):
+                rules.append((channel, instruction.qubits))
+            elif channel.num_qubits == 1:
+                rules.extend((channel, (q,)) for q in instruction.qubits)
+            else:
+                raise NoiseModelError(
+                    f"default channel arity {channel.num_qubits} incompatible "
+                    f"with gate {instruction.name!r} on {instruction.qubits}"
+                )
+        return rules
+
+    @property
+    def noisy_gate_names(self) -> set[str]:
+        names = set(self._default)
+        names.update(name for name, _ in self._local)
+        return names
+
+    def is_trivial(self) -> bool:
+        return not self._local and not self._default
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseModel(gates={sorted(self.noisy_gate_names)!r}, "
+            f"local_rules={len(self._local)})"
+        )

@@ -1,0 +1,40 @@
+"""Random states and unitaries (Haar measure) for tests and fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.statevector import Statevector
+from repro.utils.rng import as_rng
+
+
+def random_statevector(
+    num_qubits: int, seed: "int | np.random.Generator | None" = None
+) -> Statevector:
+    """Haar-random pure state on ``num_qubits`` qubits."""
+    rng = as_rng(seed)
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return Statevector(vec / np.linalg.norm(vec), validate=False)
+
+
+def random_real_amplitudes(
+    dim: int, seed: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """Random real unit vector — the kind of target AE must embed."""
+    rng = as_rng(seed)
+    vec = rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def random_unitary(
+    num_qubits: int, seed: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """Haar-random unitary via QR decomposition of a Ginibre matrix."""
+    rng = as_rng(seed)
+    dim = 2**num_qubits
+    ginibre = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diag(r).copy()
+    phases /= np.abs(phases)
+    return q * phases

@@ -1,0 +1,72 @@
+"""State-comparison metrics, chiefly the Jozsa mixed-state fidelity.
+
+The paper's assessment metric (Sec. IV-C) is
+``F(rho, sigma) = (tr sqrt(sqrt(rho) sigma sqrt(rho)))^2`` [Jozsa 1994].
+Fast paths cover the pure-state cases that dominate the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+StateLike = "Statevector | DensityMatrix | np.ndarray"
+
+
+def _coerce(state: "StateLike") -> tuple[np.ndarray, bool]:
+    """Return (array, is_pure_vector) for any accepted state object."""
+    if isinstance(state, Statevector):
+        return state.data, True
+    if isinstance(state, DensityMatrix):
+        return state.data, False
+    arr = np.asarray(state, dtype=complex)
+    if arr.ndim == 1:
+        return arr, True
+    if arr.ndim == 2 and arr.shape[0] == arr.shape[1]:
+        return arr, False
+    raise ValueError(f"cannot interpret shape {arr.shape} as a quantum state")
+
+
+def _sqrtm_psd(matrix: np.ndarray) -> np.ndarray:
+    """Matrix square root of a positive-semidefinite Hermitian matrix."""
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.conj().T
+
+
+def state_fidelity(a: "StateLike", b: "StateLike") -> float:
+    """Jozsa fidelity between two states (pure or mixed), in [0, 1]."""
+    mat_a, pure_a = _coerce(a)
+    mat_b, pure_b = _coerce(b)
+    if pure_a and pure_b:
+        return float(min(1.0, abs(np.vdot(mat_a, mat_b)) ** 2))
+    if pure_a:  # F = <psi| rho |psi>
+        return float(min(1.0, np.real(np.vdot(mat_a, mat_b @ mat_a))))
+    if pure_b:
+        return float(min(1.0, np.real(np.vdot(mat_b, mat_a @ mat_b))))
+    sqrt_a = _sqrtm_psd(mat_a)
+    inner = sqrt_a @ mat_b @ sqrt_a
+    eigenvalues = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+    return float(min(1.0, np.sum(np.sqrt(eigenvalues)) ** 2))
+
+
+def purity(state: "StateLike") -> float:
+    """tr(rho^2); equals 1 exactly for pure states."""
+    mat, pure = _coerce(state)
+    if pure:
+        return 1.0
+    return float(np.real(np.trace(mat @ mat)))
+
+
+def trace_distance(a: "StateLike", b: "StateLike") -> float:
+    """(1/2) ||rho - sigma||_1."""
+    mat_a, pure_a = _coerce(a)
+    mat_b, pure_b = _coerce(b)
+    if pure_a:
+        mat_a = np.outer(mat_a, mat_a.conj())
+    if pure_b:
+        mat_b = np.outer(mat_b, mat_b.conj())
+    eigenvalues = np.linalg.eigvalsh(mat_a - mat_b)
+    return float(0.5 * np.sum(np.abs(eigenvalues)))

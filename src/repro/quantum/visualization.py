@@ -1,0 +1,111 @@
+"""ASCII circuit rendering for debugging and examples.
+
+``draw(circuit)`` lays instructions out in ASAP columns and prints one
+row per qubit — compact enough for the 8-qubit circuits this repo works
+with, and dependency-free.
+
+Example
+-------
+>>> from repro.quantum import QuantumCircuit
+>>> from repro.quantum.visualization import draw
+>>> print(draw(QuantumCircuit(2).h(0).cx(0, 1)))
+q0: ─[h]──────●──
+              │
+q1: ────────[cx]─
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import QuantumCircuit
+
+
+def _label(instruction) -> str:
+    name = instruction.name
+    if instruction.gate.params:
+        args = ",".join(f"{p:.2f}" for p in instruction.gate.params)
+        return f"[{name}({args})]"
+    return f"[{name}]"
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as fixed-width ASCII art.
+
+    Long circuits wrap into multiple banks of at most ``max_width``
+    characters.
+    """
+    num_qubits = circuit.num_qubits
+    # Assign each instruction to the earliest free column on its qubits.
+    columns: list[list] = []
+    frontier = [0] * num_qubits
+    for instr in circuit:
+        col = max(frontier[q] for q in instr.qubits)
+        while len(columns) <= col:
+            columns.append([])
+        columns[col].append(instr)
+        for q in instr.qubits:
+            frontier[q] = col + 1
+
+    # Render column by column.
+    cell_rows = [[] for _ in range(num_qubits)]
+    link_rows = [[] for _ in range(num_qubits - 1)]  # between q and q+1
+    for column in columns:
+        width = 3
+        cells = {q: None for q in range(num_qubits)}
+        links: set[int] = set()
+        for instr in column:
+            label = _label(instr)
+            if instr.gate.num_qubits == 1:
+                cells[instr.qubits[0]] = label
+            else:
+                control, target = instr.qubits
+                cells[control] = "●" if instr.name.startswith("c") else label
+                cells[target] = label
+                low, high = sorted((control, target))
+                links.update(range(low, high))
+            width = max(width, *(len(c) for c in cells.values() if c))
+        for q in range(num_qubits):
+            text = cells[q] or ""
+            pad = width - len(text)
+            left = pad // 2
+            filler = "─"
+            cell_rows[q].append(
+                filler * (left + 1) + (text or filler) + filler * (pad - left + 1)
+            )
+        for gap in range(num_qubits - 1):
+            mark = "│" if gap in links else " "
+            total = width + 2
+            left = (total - 1) // 2
+            link_rows[gap].append(" " * left + mark + " " * (total - 1 - left))
+
+    # Stitch columns into banks that respect max_width.
+    banks = []
+    start = 0
+    while start < len(columns):
+        used = 0
+        end = start
+        while end < len(columns) and used + len(cell_rows[0][end]) <= max_width:
+            used += len(cell_rows[0][end])
+            end += 1
+        end = max(end, start + 1)
+        lines = []
+        for q in range(num_qubits):
+            prefix = f"q{q}: "
+            lines.append(prefix + "".join(cell_rows[q][start:end]))
+            if q < num_qubits - 1:
+                gap_line = " " * len(prefix) + "".join(link_rows[q][start:end])
+                if gap_line.strip():
+                    lines.append(gap_line)
+        banks.append("\n".join(lines))
+        start = end
+    return "\n…\n".join(banks)
+
+
+def summary(circuit: QuantumCircuit) -> str:
+    """One-line structural summary (used by example scripts)."""
+    counts = circuit.count_ops()
+    ops = ", ".join(f"{name} x{count}" for name, count in sorted(counts.items()))
+    return (
+        f"{circuit.name}: {circuit.num_qubits} qubits, depth "
+        f"{circuit.depth()} ({circuit.depth(physical_only=True)} physical), "
+        f"{ops}"
+    )

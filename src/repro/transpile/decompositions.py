@@ -1,0 +1,209 @@
+"""Gate-level rewrite rules used by the transpiler.
+
+Two layers of rules:
+
+* :func:`decompose_to_cx` lowers every two-qubit gate to ``{cx}`` plus
+  one-qubit gates (routing operates at this level);
+* :func:`expand_cx` lowers ``cx`` to the hardware entangler (``ecr`` for
+  IBM Eagle, ``cz`` for Heron-class sets) plus one-qubit gates.
+
+All identities are verified against dense matrices (up to global phase) in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranspilerError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.instruction import Instruction
+
+#: Rewrite step: (gate_name, params, qubit_positions-within-instruction).
+Rule = list[tuple[str, tuple[float, ...], tuple[int, ...]]]
+
+
+def _cy_rule() -> Rule:
+    return [
+        ("sdg", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("s", (), (1,)),
+    ]
+
+
+def _cz_rule() -> Rule:
+    return [
+        ("h", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("h", (), (1,)),
+    ]
+
+
+def _ch_rule() -> Rule:
+    # CH = (I (x) Ry(pi/4)) CX (I (x) Ry(-pi/4)) up to phases on the target.
+    return [
+        ("s", (), (1,)),
+        ("h", (), (1,)),
+        ("t", (), (1,)),
+        ("cx", (), (0, 1)),
+        ("tdg", (), (1,)),
+        ("h", (), (1,)),
+        ("sdg", (), (1,)),
+    ]
+
+
+def _swap_rule() -> Rule:
+    return [
+        ("cx", (), (0, 1)),
+        ("cx", (), (1, 0)),
+        ("cx", (), (0, 1)),
+    ]
+
+
+def _iswap_rule() -> Rule:
+    return [
+        ("s", (), (0,)),
+        ("s", (), (1,)),
+        ("h", (), (0,)),
+        ("cx", (), (0, 1)),
+        ("cx", (), (1, 0)),
+        ("h", (), (1,)),
+    ]
+
+
+def _cp_rule(theta: float) -> Rule:
+    half = theta / 2.0
+    return [
+        ("rz", (half,), (0,)),
+        ("cx", (), (0, 1)),
+        ("rz", (-half,), (1,)),
+        ("cx", (), (0, 1)),
+        ("rz", (half,), (1,)),
+    ]
+
+
+def _crz_rule(theta: float) -> Rule:
+    half = theta / 2.0
+    return [
+        ("rz", (half,), (1,)),
+        ("cx", (), (0, 1)),
+        ("rz", (-half,), (1,)),
+        ("cx", (), (0, 1)),
+    ]
+
+
+def _cry_rule(theta: float) -> Rule:
+    half = theta / 2.0
+    return [
+        ("ry", (half,), (1,)),
+        ("cx", (), (0, 1)),
+        ("ry", (-half,), (1,)),
+        ("cx", (), (0, 1)),
+    ]
+
+
+def _rzz_rule(theta: float) -> Rule:
+    return [
+        ("cx", (), (0, 1)),
+        ("rz", (theta,), (1,)),
+        ("cx", (), (0, 1)),
+    ]
+
+
+def two_qubit_rule(name: str, params: tuple[float, ...]) -> Rule | None:
+    """Rewrite rule lowering gate ``name`` to cx + 1q gates, or None if the
+    gate is already ``cx`` / one-qubit."""
+    if name == "cy":
+        return _cy_rule()
+    if name == "cz":
+        return _cz_rule()
+    if name == "ch":
+        return _ch_rule()
+    if name == "swap":
+        return _swap_rule()
+    if name == "iswap":
+        return _iswap_rule()
+    if name == "cp":
+        return _cp_rule(params[0])
+    if name == "crz":
+        return _crz_rule(params[0])
+    if name == "cry":
+        return _cry_rule(params[0])
+    if name == "rzz":
+        return _rzz_rule(params[0])
+    return None
+
+
+def decompose_to_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower every two-qubit gate to ``cx`` + one-qubit gates."""
+    from repro.quantum.gates import gate
+
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in circuit:
+        if instr.gate.num_qubits == 1 or instr.name == "cx":
+            lowered.append(instr.gate, instr.qubits)
+            continue
+        if instr.gate.num_qubits != 2:
+            raise TranspilerError(
+                f"cannot lower {instr.gate.num_qubits}-qubit gate "
+                f"{instr.name!r}; decompose it before transpiling"
+            )
+        rule = two_qubit_rule(instr.name, instr.gate.params)
+        if rule is None:
+            # Unknown named 2q unitary: no generic KAK here by design —
+            # the stack only emits gates covered by the rules above.
+            raise TranspilerError(f"no decomposition rule for {instr.name!r}")
+        for gate_name, params, positions in rule:
+            lowered.append(
+                gate(gate_name, *params),
+                tuple(instr.qubits[p] for p in positions),
+            )
+    return lowered
+
+
+# CX = (H (x) H) . ECR . ((SX.H) (x) (SX.Sdg)), derived by exhaustive search
+# over one-qubit Cliffords and verified up to global phase in the tests.
+_CX_VIA_ECR: Rule = [
+    ("h", (), (0,)),
+    ("sx", (), (0,)),
+    ("sdg", (), (1,)),
+    ("sx", (), (1,)),
+    ("ecr", (), (0, 1)),
+    ("h", (), (0,)),
+    ("h", (), (1,)),
+]
+
+# CX = (I (x) H) . CZ . (I (x) H).
+_CX_VIA_CZ: Rule = [
+    ("h", (), (1,)),
+    ("cz", (), (0, 1)),
+    ("h", (), (1,)),
+]
+
+
+def expand_cx(circuit: QuantumCircuit, entangler: str) -> QuantumCircuit:
+    """Lower every ``cx`` to the native ``entangler`` plus 1q gates."""
+    from repro.quantum.gates import gate
+
+    if entangler == "cx":
+        return circuit.copy()
+    if entangler == "ecr":
+        rule = _CX_VIA_ECR
+    elif entangler == "cz":
+        rule = _CX_VIA_CZ
+    else:
+        raise TranspilerError(f"unsupported native entangler {entangler!r}")
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in circuit:
+        if instr.name != "cx":
+            lowered.append(instr.gate, instr.qubits)
+            continue
+        for gate_name, params, positions in rule:
+            lowered.append(
+                gate(gate_name, *params),
+                tuple(instr.qubits[p] for p in positions),
+            )
+    return lowered
+
+
+def instruction_as_rule(instr: Instruction) -> Rule:
+    """Represent an instruction as a single-step rule (helper for tests)."""
+    return [(instr.name, instr.gate.params, tuple(range(len(instr.qubits))))]

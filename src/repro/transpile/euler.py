@@ -1,0 +1,125 @@
+"""Optimal single-qubit synthesis into the IBM native basis {Rz, SX, X}.
+
+Any 2x2 unitary factors as ``U = exp(i*phase) Rz(phi) Ry(theta) Rz(lam)``
+with ``theta in [0, pi]``.  Because ``Rz`` is virtual (free), the physical
+cost is set by ``theta`` alone:
+
+* ``theta ~ 0``      -> pure ``Rz``      (0 physical gates)
+* ``theta ~ pi``     -> ``Rz-X-Rz``      (1 physical gate)
+* ``theta ~ pi/2``   -> ``Rz-SX-Rz``     (1 physical gate)
+* otherwise          -> ``Rz-SX-Rz-SX-Rz`` (2 physical gates, ZXZXZ)
+
+This is the same 0/1/2-SX strategy qiskit's
+``Optimize1qGatesDecomposition`` applies, verified here against dense
+matrices in the test suite.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.errors import TranspilerError
+
+TWO_PI = 2.0 * math.pi
+
+#: A synthesized native op: (gate name, params tuple) in circuit order.
+NativeOp = tuple[str, tuple[float, ...]]
+
+
+def zyz_decompose(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Return ``(theta, phi, lam, phase)`` with
+    ``U = exp(i*phase) * Rz(phi) @ Ry(theta) @ Rz(lam)`` and theta in [0, pi].
+    """
+    u = np.asarray(matrix, dtype=complex)
+    if u.shape != (2, 2):
+        raise TranspilerError(f"expected a 2x2 matrix, got shape {u.shape}")
+    det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise TranspilerError("matrix is not unitary (|det| != 1)")
+    # Project into SU(2).
+    su = u / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[0, 0]) > 1e-9 and abs(su[1, 0]) > 1e-9:
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+        phi = 0.5 * (phi_plus_lam + phi_minus_lam)
+        lam = 0.5 * (phi_plus_lam - phi_minus_lam)
+    elif abs(su[1, 0]) <= 1e-9:  # theta ~ 0: only phi+lam is defined
+        phi = 2.0 * cmath.phase(su[1, 1])
+        lam = 0.0
+    else:  # theta ~ pi: only phi-lam is defined
+        phi = 2.0 * cmath.phase(su[1, 0])
+        lam = 0.0
+    # Recover the global phase by comparing one reliable entry.
+    rec = _zyz_matrix(theta, phi, lam)
+    idx = np.unravel_index(int(np.argmax(np.abs(rec))), rec.shape)
+    phase = cmath.phase(u[idx] / rec[idx])
+    return theta, phi, lam, phase
+
+
+def _zyz_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    cos, sin = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [
+                cmath.exp(-0.5j * (phi + lam)) * cos,
+                -cmath.exp(-0.5j * (phi - lam)) * sin,
+            ],
+            [
+                cmath.exp(0.5j * (phi - lam)) * sin,
+                cmath.exp(0.5j * (phi + lam)) * cos,
+            ],
+        ]
+    )
+
+
+def _wrap_angle(angle: float) -> float:
+    """Map ``angle`` into (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def _is_zero_angle(angle: float, atol: float) -> bool:
+    return abs(_wrap_angle(angle)) <= atol
+
+
+def synthesize_1q(matrix: np.ndarray, atol: float = 1e-9) -> list[NativeOp]:
+    """Minimal {rz, sx, x} sequence (circuit order) implementing ``matrix``
+    up to global phase."""
+    theta, phi, lam, _ = zyz_decompose(matrix)
+    ops: list[NativeOp] = []
+
+    def rz(angle: float) -> None:
+        if not _is_zero_angle(angle, atol):
+            ops.append(("rz", (_wrap_angle(angle),)))
+
+    if _is_zero_angle(theta, atol):
+        rz(phi + lam)
+    elif _is_zero_angle(theta - math.pi, atol):
+        # Ry(pi) == X @ Z exactly, so U = Rz(phi) X Z Rz(lam).
+        rz(lam + math.pi)
+        ops.append(("x", ()))
+        rz(phi)
+    elif _is_zero_angle(theta - math.pi / 2.0, atol):
+        # Ry(pi/2) == phase * Rz(pi/2) SX Rz(-pi/2).
+        rz(lam - math.pi / 2.0)
+        ops.append(("sx", ()))
+        rz(phi + math.pi / 2.0)
+    else:
+        # ZXZXZ: U = phase * Rz(phi+pi) SX Rz(theta+pi) SX Rz(lam).
+        rz(lam)
+        ops.append(("sx", ()))
+        rz(theta + math.pi)
+        ops.append(("sx", ()))
+        rz(phi + math.pi)
+    return ops
+
+
+def physical_1q_cost(matrix: np.ndarray, atol: float = 1e-9) -> int:
+    """Number of physical (non-Rz) gates :func:`synthesize_1q` would emit."""
+    return sum(1 for name, _ in synthesize_1q(matrix, atol) if name != "rz")

@@ -1,0 +1,62 @@
+"""Logical-to-physical qubit layouts."""
+
+from __future__ import annotations
+
+from repro.errors import TranspilerError
+
+
+class Layout:
+    """A bijection between logical circuit qubits and physical qubits."""
+
+    def __init__(self, logical_to_physical: dict[int, int]) -> None:
+        l2p = {int(l): int(p) for l, p in logical_to_physical.items()}
+        if len(set(l2p.values())) != len(l2p):
+            raise TranspilerError(f"layout is not injective: {l2p}")
+        self._l2p = l2p
+        self._p2l = {p: l for l, p in l2p.items()}
+
+    @classmethod
+    def trivial(cls, num_qubits: int) -> "Layout":
+        return cls({q: q for q in range(num_qubits)})
+
+    def physical(self, logical: int) -> int:
+        try:
+            return self._l2p[logical]
+        except KeyError:
+            raise TranspilerError(f"logical qubit {logical} not in layout") from None
+
+    def logical(self, physical: int) -> int | None:
+        """Logical qubit at ``physical``, or None for an ancilla position."""
+        return self._p2l.get(physical)
+
+    def swap_physical(self, a: int, b: int) -> None:
+        """Record a SWAP between physical positions ``a`` and ``b``."""
+        la, lb = self._p2l.get(a), self._p2l.get(b)
+        if la is not None:
+            self._l2p[la] = b
+        if lb is not None:
+            self._l2p[lb] = a
+        self._p2l[a], self._p2l[b] = lb, la
+        if self._p2l[a] is None:
+            del self._p2l[a]
+        if self._p2l[b] is None:
+            del self._p2l[b]
+
+    def copy(self) -> "Layout":
+        return Layout(dict(self._l2p))
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._l2p)
+
+    @property
+    def num_logical(self) -> int:
+        return len(self._l2p)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{l}->{p}" for l, p in sorted(self._l2p.items()))
+        return f"Layout({pairs})"

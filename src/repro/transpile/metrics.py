@@ -1,0 +1,80 @@
+"""Circuit metrics with the paper's accounting (virtual Rz excluded).
+
+Sec. IV-C: "For all circuit-based metrics, we exclude Rz gate counts, as
+these can be implemented virtually."  :func:`circuit_metrics` therefore
+reports depth and gate counts over **physical** gates only;
+:func:`schedule_duration` estimates the wall-clock duration of a circuit
+via ASAP scheduling with the backend's calibrated gate durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Physical-gate statistics of a transpiled circuit."""
+
+    depth: int
+    total_gates: int
+    one_qubit_gates: int
+    two_qubit_gates: int
+    virtual_gates: int
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict of the paper's metrics (virtual gates excluded: a
+        zero-angle Rz may be elided without changing the physical circuit,
+        so the virtual count is not part of the circuit's 'shape')."""
+        return {
+            "depth": self.depth,
+            "total_gates": self.total_gates,
+            "one_qubit_gates": self.one_qubit_gates,
+            "two_qubit_gates": self.two_qubit_gates,
+        }
+
+
+def circuit_metrics(circuit: QuantumCircuit) -> CircuitMetrics:
+    """Compute the Fig. 6/7 metrics for ``circuit``."""
+    one_qubit = 0
+    two_qubit = 0
+    virtual = 0
+    counts: dict[str, int] = {}
+    for instr in circuit:
+        if instr.is_virtual:
+            virtual += 1
+            continue
+        counts[instr.name] = counts.get(instr.name, 0) + 1
+        if instr.gate.num_qubits == 1:
+            one_qubit += 1
+        else:
+            two_qubit += 1
+    return CircuitMetrics(
+        depth=circuit.depth(physical_only=True),
+        total_gates=one_qubit + two_qubit,
+        one_qubit_gates=one_qubit,
+        two_qubit_gates=two_qubit,
+        virtual_gates=virtual,
+        counts=counts,
+    )
+
+
+def schedule_duration(circuit: QuantumCircuit, backend: Backend) -> float:
+    """ASAP-scheduled circuit duration in seconds.
+
+    Virtual gates take zero time; physical gates take their calibrated
+    duration; a gate starts when all its qubits are free.
+    """
+    free_at = [0.0] * circuit.num_qubits
+    for instr in circuit:
+        if instr.is_virtual:
+            continue
+        duration = backend.gate_calibration(instr.name, instr.qubits).duration
+        start = max(free_at[q] for q in instr.qubits)
+        for q in instr.qubits:
+            free_at[q] = start + duration
+    return max(free_at, default=0.0)

@@ -1,0 +1,128 @@
+"""Circuit-rewrite passes: 1q-run merging, native synthesis, CX cancellation.
+
+``merge_1q_runs`` + ``resynthesize_1q`` implement the standard
+"collapse adjacent one-qubit gates, then re-emit the minimal
+Rz/SX/X realization" optimization (qiskit's ``Optimize1qGates*`` passes).
+``translate_1q`` is the non-optimizing variant used at optimization level
+0, which lowers each one-qubit gate in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import gate, unitary_gate
+from repro.transpile.euler import synthesize_1q
+
+
+def merge_1q_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Collapse maximal runs of one-qubit gates into single ``unitary`` ops.
+
+    Runs are flushed lazily just before a two-qubit gate touches the qubit
+    (or at the end of the circuit), preserving the gate ordering semantics.
+    """
+    merged = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if np.allclose(matrix, matrix[0, 0] * np.eye(2), atol=1e-12):
+            return  # identity up to global phase
+        merged.append(unitary_gate(matrix, label="u1q"), (qubit,))
+
+    for instr in circuit:
+        if instr.gate.num_qubits == 1:
+            qubit = instr.qubits[0]
+            acc = pending.get(qubit)
+            pending[qubit] = (
+                instr.gate.matrix if acc is None else instr.gate.matrix @ acc
+            )
+        else:
+            for qubit in instr.qubits:
+                flush(qubit)
+            merged.append(instr.gate, instr.qubits)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return merged
+
+
+def resynthesize_1q(circuit: QuantumCircuit, atol: float = 1e-9) -> QuantumCircuit:
+    """Re-emit every one-qubit gate as its minimal {rz, sx, x} sequence."""
+    native = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in circuit:
+        if instr.gate.num_qubits != 1:
+            native.append(instr.gate, instr.qubits)
+            continue
+        for name, params in synthesize_1q(instr.gate.matrix, atol=atol):
+            native.append(gate(name, *params), instr.qubits)
+    return native
+
+
+def translate_1q(circuit: QuantumCircuit, native_names: frozenset[str]) -> QuantumCircuit:
+    """Lower each non-native one-qubit gate individually (no merging).
+
+    This reproduces transpiler optimization level 0: already-native gates
+    pass through untouched, everything else is synthesized gate-by-gate.
+    """
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr in circuit:
+        if instr.gate.num_qubits != 1 or instr.name in native_names:
+            lowered.append(instr.gate, instr.qubits)
+            continue
+        for name, params in synthesize_1q(instr.gate.matrix):
+            lowered.append(gate(name, *params), instr.qubits)
+    return lowered
+
+
+def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove pairs of identical self-inverse 2q gates with nothing between.
+
+    Only gates whose two occurrences are consecutive *on both qubits* are
+    cancelled; this is the peephole cleanup that makes the zero-angle
+    pruning of multiplexed rotations actually pay off in gate counts.
+    """
+    self_inverse = {"cx", "cy", "cz", "swap", "ecr"}
+    instructions = list(circuit)
+    keep = [True] * len(instructions)
+    # last_touch[q] = index of the most recent surviving instruction on q
+    last_touch: dict[int, int] = {}
+    for idx, instr in enumerate(instructions):
+        cancelled = False
+        if instr.name in self_inverse and instr.gate.num_qubits == 2:
+            prev_indices = {last_touch.get(q) for q in instr.qubits}
+            if len(prev_indices) == 1:
+                prev = prev_indices.pop()
+                if prev is not None and keep[prev]:
+                    prev_instr = instructions[prev]
+                    if (
+                        prev_instr.name == instr.name
+                        and prev_instr.qubits == instr.qubits
+                    ):
+                        keep[prev] = False
+                        keep[idx] = False
+                        cancelled = True
+                        # Roll back last_touch to before the cancelled pair.
+                        for q in instr.qubits:
+                            last_touch[q] = _previous_touch(
+                                instructions, keep, q, prev
+                            )
+        if not cancelled:
+            for q in instr.qubits:
+                last_touch[q] = idx
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instr, flag in zip(instructions, keep):
+        if flag:
+            result.append(instr.gate, instr.qubits)
+    return result
+
+
+def _previous_touch(
+    instructions: list, keep: list[bool], qubit: int, before: int
+) -> int | None:
+    for idx in range(before - 1, -1, -1):
+        if keep[idx] and qubit in instructions[idx].qubits:
+            return idx
+    return None

@@ -1,0 +1,103 @@
+"""SWAP-insertion routing onto a restricted coupling map.
+
+The router walks the circuit in order; whenever a two-qubit gate acts on
+physical positions that are not adjacent on the device, SWAPs are inserted
+along a shortest path to bring the pair together (qiskit's ``BasicSwap``
+strategy).  This is deliberately simple and deterministic: the paper
+disables higher transpiler optimization precisely to avoid synthesis
+confounds, and the depth/SWAP inflation of exact amplitude embedding under
+*any* reasonable router is what Figs. 6-7 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TranspilerError
+from repro.hardware.topology import CouplingMap
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import gate
+from repro.transpile.layout import Layout
+from repro.utils.rng import as_rng
+
+
+@dataclass
+class RoutingResult:
+    """Routed circuit plus the layouts before and after routing."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps_inserted: int
+
+
+def route(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    initial_layout: Layout | None = None,
+    seed: "int | None" = None,
+) -> RoutingResult:
+    """Insert SWAPs so every 2q gate acts on coupled physical qubits.
+
+    The returned circuit is expressed over **physical** qubits
+    (``coupling_map.num_qubits`` wide).  Gates of arity > 2 are rejected:
+    lower them first with
+    :func:`repro.transpile.decompositions.decompose_to_cx`.
+
+    With ``seed=None`` routing is deterministic (the gate's first qubit is
+    swapped along a shortest path toward the second).  With a seed, each
+    hop randomly picks which endpoint moves — the seeded stochastic
+    tie-breaking of production transpilers (qiskit's Sabre/StochasticSwap),
+    and the reason identical-shape circuits compile to different depths.
+    """
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits, device has "
+            f"{coupling_map.num_qubits}"
+        )
+    layout = (
+        Layout.trivial(circuit.num_qubits)
+        if initial_layout is None
+        else initial_layout.copy()
+    )
+    initial = layout.copy()
+    routed = QuantumCircuit(coupling_map.num_qubits, name=circuit.name)
+    swap_gate = gate("swap")
+    num_swaps = 0
+    rng = None if seed is None else as_rng(seed)
+
+    for instr in circuit:
+        if instr.gate.num_qubits == 1:
+            routed.append(instr.gate, (layout.physical(instr.qubits[0]),))
+            continue
+        if instr.gate.num_qubits != 2:
+            raise TranspilerError(
+                f"route() requires <=2-qubit gates, got {instr.name!r}"
+            )
+        control, target = instr.qubits
+        phys_c = layout.physical(control)
+        phys_t = layout.physical(target)
+        if not coupling_map.are_connected(phys_c, phys_t):
+            path = coupling_map.shortest_path(phys_c, phys_t)
+            left, right = 0, len(path) - 1
+            while right - left > 1:
+                move_left = rng is None or rng.random() < 0.5
+                if move_left:  # advance the first endpoint one hop
+                    routed.append(swap_gate, (path[left], path[left + 1]))
+                    layout.swap_physical(path[left], path[left + 1])
+                    left += 1
+                else:  # pull the second endpoint one hop closer
+                    routed.append(swap_gate, (path[right], path[right - 1]))
+                    layout.swap_physical(path[right], path[right - 1])
+                    right -= 1
+                num_swaps += 1
+            phys_c = layout.physical(control)
+            phys_t = layout.physical(target)
+        routed.append(instr.gate, (phys_c, phys_t))
+
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=initial,
+        final_layout=layout,
+        num_swaps_inserted=num_swaps,
+    )

@@ -1,0 +1,139 @@
+"""The transpile pipeline: lower any circuit onto a hardware backend.
+
+Pipeline stages (mirroring qiskit's preset pass managers):
+
+1. lower all two-qubit gates to CX (+1q gates);
+2. (level >= 1) cancel trivially adjacent CX pairs;
+3. route with SWAP insertion onto the coupling map;
+4. expand SWAPs, lower CX to the native entangler (ECR / CZ);
+5. one-qubit lowering — level 0 translates gate-by-gate, level >= 1
+   merges runs and re-emits the minimal Rz/SX/X realization.
+
+The result records the final layout so callers can compare simulated
+physical states against logical targets (:meth:`TranspileResult.
+embed_target`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TranspilerError
+from repro.hardware.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+from repro.transpile.decompositions import decompose_to_cx, expand_cx
+from repro.transpile.layout import Layout
+from repro.transpile.metrics import CircuitMetrics, circuit_metrics
+from repro.transpile.passes import (
+    cancel_adjacent_cx,
+    merge_1q_runs,
+    resynthesize_1q,
+    translate_1q,
+)
+from repro.transpile.routing import route
+
+
+@dataclass
+class TranspileResult:
+    """A lowered circuit plus the layout bookkeeping needed to use it."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    backend: Backend
+    num_swaps_inserted: int
+
+    def metrics(self) -> CircuitMetrics:
+        return circuit_metrics(self.circuit)
+
+    def embed_target(self, logical_state: np.ndarray) -> np.ndarray:
+        """Express a logical target state on the physical register.
+
+        Logical qubit ``l`` ends at physical position ``final_layout[l]``;
+        unused physical qubits stay |0>.  The returned vector can be
+        compared directly against a simulation of :attr:`circuit`.
+        """
+        logical_state = np.asarray(logical_state, dtype=complex).ravel()
+        num_logical = self.final_layout.num_logical
+        if logical_state.size != 2**num_logical:
+            raise TranspilerError(
+                f"target has dim {logical_state.size}, expected "
+                f"{2 ** num_logical}"
+            )
+        num_physical = self.circuit.num_qubits
+        indices = np.arange(2**num_logical)
+        physical_indices = np.zeros_like(indices)
+        for logical in range(num_logical):
+            physical = self.final_layout.physical(logical)
+            bit = (indices >> (num_logical - 1 - logical)) & 1
+            physical_indices |= bit << (num_physical - 1 - physical)
+        embedded = np.zeros(2**num_physical, dtype=complex)
+        embedded[physical_indices] = logical_state
+        return embedded
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    optimization_level: int = 1,
+    initial_layout: Layout | None = None,
+    seed: "int | None" = None,
+) -> TranspileResult:
+    """Lower ``circuit`` to ``backend``'s native gates and connectivity.
+
+    ``seed`` controls the router's stochastic tie-breaking; ``None`` routes
+    deterministically.
+    """
+    if optimization_level not in (0, 1):
+        raise TranspilerError(
+            f"optimization_level must be 0 or 1, got {optimization_level}"
+        )
+    if circuit.num_qubits > backend.num_qubits:
+        raise TranspilerError(
+            f"{circuit.num_qubits}-qubit circuit cannot target "
+            f"{backend.num_qubits}-qubit backend {backend.name!r}"
+        )
+
+    cx_level = decompose_to_cx(circuit)
+    if optimization_level >= 1:
+        cx_level = cancel_adjacent_cx(cx_level)
+
+    routing_result = route(cx_level, backend.coupling_map, initial_layout, seed=seed)
+    # Expand the inserted SWAPs and lower CX to the hardware entangler.
+    expanded = decompose_to_cx(routing_result.circuit)
+    entangled = expand_cx(expanded, backend.native_gates.two_qubit_gate)
+
+    if optimization_level >= 1:
+        native = resynthesize_1q(merge_1q_runs(entangled))
+    else:
+        native = translate_1q(
+            entangled,
+            backend.native_gates.one_qubit_gates
+            | backend.native_gates.virtual_gates,
+        )
+
+    _check_native(native, backend)
+    return TranspileResult(
+        circuit=native,
+        initial_layout=routing_result.initial_layout,
+        final_layout=routing_result.final_layout,
+        backend=backend,
+        num_swaps_inserted=routing_result.num_swaps_inserted,
+    )
+
+
+def _check_native(circuit: QuantumCircuit, backend: Backend) -> None:
+    native = backend.native_gates
+    for instr in circuit:
+        if not native.is_native(instr.name):
+            raise TranspilerError(
+                f"gate {instr.name!r} survived lowering to {native.name}"
+            )
+        if instr.gate.num_qubits == 2 and not backend.coupling_map.are_connected(
+            *instr.qubits
+        ):
+            raise TranspilerError(
+                f"2q gate on uncoupled qubits {instr.qubits} after routing"
+            )

@@ -1,0 +1,17 @@
+"""Shared utilities: RNG handling, timing, and linear-algebra helpers."""
+
+from repro.utils.linalg import (
+    allclose_up_to_global_phase,
+    global_phase_between,
+    is_unitary,
+)
+from repro.utils.rng import as_rng
+from repro.utils.timing import Timer
+
+__all__ = [
+    "Timer",
+    "allclose_up_to_global_phase",
+    "as_rng",
+    "global_phase_between",
+    "is_unitary",
+]

@@ -1,0 +1,68 @@
+"""Small linear-algebra helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return True if ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def global_phase_between(a: np.ndarray, b: np.ndarray) -> complex | None:
+    """Return the scalar ``z`` (|z|=1) with ``a == z * b``, or None.
+
+    Used to compare unitaries/states that are physically identical but
+    differ by an unobservable global phase.
+    """
+    a = np.asarray(a, dtype=complex).ravel()
+    b = np.asarray(b, dtype=complex).ravel()
+    if a.shape != b.shape:
+        return None
+    pivot = int(np.argmax(np.abs(b)))
+    if abs(b[pivot]) < 1e-12:
+        return None
+    z = a[pivot] / b[pivot]
+    if abs(abs(z) - 1.0) > 1e-6:
+        return None
+    if np.allclose(a, z * b, atol=1e-8):
+        return complex(z)
+    return None
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """Return True if ``a`` equals ``b`` up to a global phase factor."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a < atol and norm_b < atol:
+        return True
+    if abs(norm_a - norm_b) > max(atol, 1e-6 * norm_b):
+        return False
+    overlap = np.vdot(a.ravel(), b.ravel())
+    return bool(abs(abs(overlap) - norm_a * norm_b) <= atol * max(1.0, norm_a * norm_b))
+
+
+def normalize_vector(vec: np.ndarray) -> np.ndarray:
+    """Return ``vec`` scaled to unit Euclidean norm.
+
+    Raises
+    ------
+    ValueError
+        If the vector norm is numerically zero.
+    """
+    vec = np.asarray(vec, dtype=float)
+    norm = float(np.linalg.norm(vec))
+    if norm < 1e-300:
+        raise ValueError("cannot normalize a zero vector")
+    return vec / norm

@@ -1,0 +1,23 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (k-means init, synthetic data,
+noise sampling in calibrations) accepts a ``seed`` argument and converts it
+with :func:`as_rng`, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh nondeterministic generator; an ``int`` seeds a
+    PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

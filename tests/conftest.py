@@ -1,0 +1,76 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.hardware import brisbane_linear_segment, linear_backend
+
+# Keep property-based tests fast but meaningful.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def segment8():
+    """The paper's experimental target: an 8-qubit brisbane line."""
+    return brisbane_linear_segment(8)
+
+
+@pytest.fixture(scope="session")
+def segment4():
+    return brisbane_linear_segment(4)
+
+
+@pytest.fixture(scope="session")
+def line4():
+    """A standalone 4-qubit chain backend (fast transpile tests)."""
+    return linear_backend(4)
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """A small synthetic-MNIST embedding dataset (session-cached)."""
+    from repro.data import load_dataset
+
+    return load_dataset("mnist", samples_per_class=60, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_circuit(num_qubits: int, depth: int, seed: int):
+    """A random circuit over the full gate vocabulary (test helper)."""
+    from repro.quantum import QuantumCircuit
+
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits)
+    one_qubit = ["h", "x", "sx", "s", "t", "sdg", "y", "z"]
+    for _ in range(depth):
+        kind = rng.integers(0, 4)
+        q = int(rng.integers(0, num_qubits))
+        if kind == 0:
+            getattr(qc, one_qubit[rng.integers(len(one_qubit))])(q)
+        elif kind == 1:
+            getattr(qc, ["rx", "ry", "rz"][rng.integers(3)])(
+                float(rng.uniform(-np.pi, np.pi)), q
+            )
+        else:
+            other = int((q + 1 + rng.integers(num_qubits - 1)) % num_qubits)
+            name = ["cx", "cy", "cz", "swap", "cp", "crz", "cry"][
+                rng.integers(7)
+            ]
+            if name in ("cp", "crz", "cry"):
+                getattr(qc, name)(float(rng.uniform(-np.pi, np.pi)), q, other)
+            else:
+                getattr(qc, name)(q, other)
+    return qc

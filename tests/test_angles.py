@@ -1,0 +1,61 @@
+"""Unit tests for state-preparation angle computation."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    phase_angles,
+    reconstruct_from_levels,
+    ry_angle_levels,
+    validate_amplitudes,
+)
+from repro.errors import StatePreparationError
+from repro.quantum import random_real_amplitudes
+
+
+def test_validate_normalizes():
+    vec = validate_amplitudes(np.array([3.0, 4.0]))
+    assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+
+def test_validate_rejects_bad_lengths():
+    with pytest.raises(StatePreparationError):
+        validate_amplitudes(np.ones(3))
+    with pytest.raises(StatePreparationError):
+        validate_amplitudes(np.ones(1))
+
+
+def test_validate_rejects_zero_vector():
+    with pytest.raises(StatePreparationError):
+        validate_amplitudes(np.zeros(4))
+
+
+def test_level_shapes():
+    levels = ry_angle_levels(random_real_amplitudes(16, seed=0))
+    assert [a.size for a in levels] == [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_levels_reconstruct_signed_amplitudes(n):
+    target = random_real_amplitudes(2**n, seed=n)
+    rebuilt = reconstruct_from_levels(ry_angle_levels(target))
+    assert np.allclose(rebuilt, target, atol=1e-10)
+
+
+def test_levels_handle_sparse_blocks():
+    target = np.zeros(8)
+    target[0] = 0.6
+    target[5] = -0.8
+    rebuilt = reconstruct_from_levels(ry_angle_levels(target))
+    assert np.allclose(rebuilt, target, atol=1e-10)
+
+
+def test_phase_angles_zero_for_real():
+    assert np.allclose(phase_angles(random_real_amplitudes(8, seed=1)), 0.0)
+
+
+def test_phase_angles_complex():
+    vec = np.array([1.0, 1j, -1.0, -1j]) / 2.0
+    phases = phase_angles(vec)
+    assert phases[1] == pytest.approx(np.pi / 2)
+    assert abs(phases[2]) == pytest.approx(np.pi)

@@ -1,0 +1,133 @@
+"""Unit tests for backends and calibrations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.hardware import (
+    FakeBrisbane,
+    GateCalibration,
+    QubitCalibration,
+    brisbane_linear_segment,
+    linear_backend,
+    sample_gate_calibrations,
+    sample_qubit_calibrations,
+)
+
+
+def test_fake_brisbane_structure():
+    device = FakeBrisbane()
+    assert device.num_qubits == 127
+    assert device.native_gates.two_qubit_gate == "ecr"
+    assert device.native_gates.is_native("rz")
+    assert not device.native_gates.is_native("cy")
+
+
+def test_calibrations_deterministic_by_seed():
+    a = FakeBrisbane(seed=11)
+    b = FakeBrisbane(seed=11)
+    c = FakeBrisbane(seed=12)
+    assert a.qubit(5).t1 == b.qubit(5).t1
+    assert a.qubit(5).t1 != c.qubit(5).t1
+
+
+def test_qubit_calibration_physical():
+    for cal in sample_qubit_calibrations(20, seed=3):
+        assert cal.t1 > 0
+        assert cal.t2 <= 2 * cal.t1
+        assert 0 < cal.readout_error < 1
+
+
+def test_unphysical_qubit_calibration_rejected():
+    with pytest.raises(BackendError):
+        QubitCalibration(t1=1e-4, t2=3e-4, readout_error=0.01)
+
+
+def test_gate_calibration_validation():
+    with pytest.raises(BackendError):
+        GateCalibration(error=1.5, duration=1e-7)
+    with pytest.raises(BackendError):
+        GateCalibration(error=0.01, duration=-1e-7)
+
+
+def test_gate_calibrations_cover_both_ecr_orientations():
+    table = sample_gate_calibrations([(0, 1)], 2, seed=0)
+    assert table[("ecr", (0, 1))] is table[("ecr", (1, 0))]
+
+
+def test_ecr_error_larger_than_sx():
+    device = FakeBrisbane()
+    a, b = device.coupling_map.edges[0]
+    ecr = device.gate_calibration("ecr", (a, b)).error
+    sx = device.gate_calibration("sx", (a,)).error
+    assert ecr > sx
+
+
+def test_missing_calibration_raises():
+    device = FakeBrisbane()
+    with pytest.raises(BackendError):
+        device.gate_calibration("ecr", (0, 100))
+
+
+def test_reduced_backend_relabels_consistently():
+    device = FakeBrisbane()
+    section = device.linear_section(5)
+    segment = device.reduced(section)
+    assert segment.num_qubits == 5
+    # Coupling is a relabeled path.
+    assert segment.coupling_map.edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    # Calibrations carried over.
+    for i, phys in enumerate(section):
+        assert segment.qubit(i).t1 == device.qubit(phys).t1
+    edge_error = segment.gate_calibration("ecr", (0, 1)).error
+    assert edge_error == device.gate_calibration(
+        "ecr", (section[0], section[1])
+    ).error
+
+
+def test_noise_model_contains_all_native_gates():
+    segment = brisbane_linear_segment(4)
+    model = segment.noise_model()
+    assert {"sx", "x", "ecr"} <= model.noisy_gate_names
+
+
+def test_noise_model_rules_present_for_each_edge():
+    segment = brisbane_linear_segment(3)
+    model = segment.noise_model()
+    from repro.quantum import gate
+    from repro.quantum.instruction import Instruction
+
+    rules = model.rules_for(Instruction(gate("ecr"), (0, 1)))
+    # depolarizing (pair) + relaxation per qubit
+    assert len(rules) == 3
+    arities = sorted(ch.num_qubits for ch, _ in rules)
+    assert arities == [1, 1, 2]
+
+
+def test_linear_backend_factory():
+    backend = linear_backend(6, seed=1)
+    assert backend.num_qubits == 6
+    assert backend.coupling_map.edges == [(i, i + 1) for i in range(5)]
+
+
+def test_calibration_mismatch_rejected():
+    from repro.hardware.backend import Backend
+    from repro.hardware import IBM_EAGLE, linear_chain
+
+    with pytest.raises(BackendError):
+        Backend(
+            "bad",
+            linear_chain(3),
+            IBM_EAGLE,
+            sample_qubit_calibrations(2),
+            {},
+        )
+
+
+def test_medians_override():
+    device = FakeBrisbane(seed=0, medians={"ecr_error": 0.05})
+    errors = [
+        device.gate_calibration("ecr", edge).error
+        for edge in device.coupling_map.edges[:10]
+    ]
+    assert np.mean(errors) > 0.02  # scaled up from the 7.5e-3 default

@@ -1,0 +1,145 @@
+"""Unit tests for Kraus channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseModelError
+from repro.quantum.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    identity_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+
+def _is_trace_preserving(channel):
+    dim = 2**channel.num_qubits
+    total = sum(op.conj().T @ op for op in channel.operators)
+    return np.allclose(total, np.eye(dim), atol=1e-9)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: identity_channel(1),
+        lambda: identity_channel(2),
+        lambda: depolarizing_channel(0.13, 1),
+        lambda: depolarizing_channel(0.07, 2),
+        lambda: amplitude_damping_channel(0.4),
+        lambda: phase_damping_channel(0.2),
+        lambda: bit_flip_channel(0.35),
+        lambda: phase_flip_channel(0.5),
+        lambda: thermal_relaxation_channel(2e-4, 1.4e-4, 6.6e-7),
+    ],
+)
+def test_channels_trace_preserving(factory):
+    assert _is_trace_preserving(factory())
+
+
+def test_invalid_probability_rejected():
+    for bad in (-0.1, 1.1):
+        with pytest.raises(NoiseModelError):
+            depolarizing_channel(bad, 1)
+        with pytest.raises(NoiseModelError):
+            amplitude_damping_channel(bad)
+        with pytest.raises(NoiseModelError):
+            bit_flip_channel(bad)
+
+
+def test_empty_channel_rejected():
+    with pytest.raises(NoiseModelError):
+        KrausChannel([])
+
+
+def test_non_cptp_rejected():
+    with pytest.raises(NoiseModelError):
+        KrausChannel([np.eye(2) * 0.5])
+
+
+def test_identity_detection():
+    assert identity_channel(1).is_identity
+    assert not depolarizing_channel(0.1, 1).is_identity
+    assert thermal_relaxation_channel(1e-4, 1e-4, 0.0).is_identity
+
+
+def test_depolarizing_limit_is_maximally_mixing():
+    channel = depolarizing_channel(1.0, 1)
+    rho = np.array([[1.0, 0.0], [0.0, 0.0]])
+    out = sum(K @ rho @ K.conj().T for K in channel.operators)
+    assert np.allclose(out, np.eye(2) / 2)
+
+
+def test_amplitude_damping_decays_excited_state():
+    gamma = 0.3
+    channel = amplitude_damping_channel(gamma)
+    rho = np.array([[0.0, 0.0], [0.0, 1.0]])  # |1><1|
+    out = sum(K @ rho @ K.conj().T for K in channel.operators)
+    assert out[1, 1] == pytest.approx(1 - gamma)
+    assert out[0, 0] == pytest.approx(gamma)
+
+
+def test_thermal_relaxation_coherence_decay_rate():
+    t1, t2, dt = 2.3e-4, 1.1e-4, 5e-6
+    channel = thermal_relaxation_channel(t1, t2, dt)
+    plus = 0.5 * np.ones((2, 2))
+    out = sum(K @ plus @ K.conj().T for K in channel.operators)
+    assert abs(out[0, 1]) == pytest.approx(0.5 * np.exp(-dt / t2), rel=1e-6)
+
+
+def test_thermal_relaxation_population_decay_rate():
+    t1, t2, dt = 2.3e-4, 1.1e-4, 5e-6
+    channel = thermal_relaxation_channel(t1, t2, dt)
+    excited = np.diag([0.0, 1.0])
+    out = sum(K @ excited @ K.conj().T for K in channel.operators)
+    assert out[1, 1] == pytest.approx(np.exp(-dt / t1), rel=1e-6)
+
+
+def test_thermal_relaxation_unphysical_rejected():
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(1e-4, 2.5e-4, 1e-6)  # T2 > 2*T1
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(-1.0, 1e-4, 1e-6)
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(1e-4, 1e-4, -1e-6)
+
+
+def test_compose_applies_in_order():
+    damp = amplitude_damping_channel(1.0)  # everything -> |0>
+    flip = bit_flip_channel(1.0)  # then X
+    composed = damp.compose(flip)
+    rho = np.diag([0.0, 1.0])
+    out = sum(K @ rho @ K.conj().T for K in composed.operators)
+    assert out[1, 1] == pytest.approx(1.0)  # damped to |0>, flipped to |1>
+
+
+def test_compose_arity_mismatch():
+    with pytest.raises(NoiseModelError):
+        identity_channel(1).compose(identity_channel(2))
+
+
+def test_expand_tensor_product():
+    expanded = bit_flip_channel(1.0).expand(identity_channel(1))
+    rho = np.zeros((4, 4))
+    rho[0, 0] = 1.0  # |00>
+    out = sum(K @ rho @ K.conj().T for K in expanded.operators)
+    assert out[2, 2] == pytest.approx(1.0)  # first qubit flipped -> |10>
+
+
+def test_superoperator_matches_kraus(rng):
+    channel = depolarizing_channel(0.2, 2)
+    superop = channel.superoperator_tensor().reshape(16, 16)
+    rho = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    rho = rho @ rho.conj().T
+    rho /= np.trace(rho)
+    expected = sum(K @ rho @ K.conj().T for K in channel.operators)
+    got = (superop @ rho.reshape(-1)).reshape(4, 4)
+    assert np.allclose(got, expected)
+
+
+def test_superoperator_is_cached():
+    channel = depolarizing_channel(0.1, 1)
+    assert channel.superoperator_tensor() is channel.superoperator_tensor()

@@ -1,0 +1,117 @@
+"""Unit tests for the QuantumCircuit model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum import QuantumCircuit, gate, simulate_statevector
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+def test_needs_at_least_one_qubit():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(0)
+
+
+def test_builder_methods_chain():
+    qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.2, 1)
+    assert len(qc) == 3
+    assert [i.name for i in qc] == ["h", "cx", "rz"]
+
+
+def test_append_rejects_out_of_range():
+    qc = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        qc.x(2)
+
+
+def test_depth_parallel_gates():
+    qc = QuantumCircuit(4)
+    qc.h(0).h(1).h(2).h(3)       # one layer
+    qc.cx(0, 1).cx(2, 3)         # one layer
+    qc.cx(1, 2)                  # third layer
+    assert qc.depth() == 3
+
+
+def test_depth_excludes_virtual_when_asked():
+    qc = QuantumCircuit(1).rz(0.1, 0).sx(0).rz(0.2, 0).sx(0).rz(0.3, 0)
+    assert qc.depth() == 5
+    assert qc.depth(physical_only=True) == 2
+
+
+def test_count_ops_and_gate_counters():
+    qc = QuantumCircuit(3).h(0).h(1).cx(0, 1).rz(0.5, 2).swap(1, 2)
+    counts = qc.count_ops()
+    assert counts == {"h": 2, "cx": 1, "rz": 1, "swap": 1}
+    assert qc.num_gates() == 5
+    assert qc.num_gates(physical_only=True) == 4
+    assert qc.num_one_qubit_gates() == 3
+    assert qc.num_one_qubit_gates(physical_only=True) == 2
+    assert qc.num_two_qubit_gates() == 2
+
+
+def test_compose_identity_mapping():
+    a = QuantumCircuit(2).h(0)
+    b = QuantumCircuit(2).cx(0, 1)
+    a.compose(b)
+    assert [i.name for i in a] == ["h", "cx"]
+
+
+def test_compose_with_mapping():
+    inner = QuantumCircuit(2).cx(0, 1)
+    outer = QuantumCircuit(3)
+    outer.compose(inner, qubits=[2, 0])
+    assert outer[0].qubits == (2, 0)
+
+
+def test_compose_mapping_length_mismatch():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(3).compose(QuantumCircuit(2).h(0), qubits=[0])
+
+
+def test_inverse_reverses_and_inverts():
+    qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.7, 1)
+    identity = qc.copy().compose(qc.inverse()).to_matrix()
+    assert allclose_up_to_global_phase(identity, np.eye(4))
+
+
+def test_to_matrix_bell_circuit():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    bell = qc.to_matrix() @ np.array([1, 0, 0, 0])
+    assert np.allclose(bell, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+
+def test_to_matrix_matches_statevector_sim():
+    qc = QuantumCircuit(3).h(0).cy(0, 2).rx(0.3, 1).cz(1, 2)
+    col = qc.to_matrix()[:, 0]
+    psi = simulate_statevector(qc).data
+    assert np.allclose(col, psi)
+
+
+def test_to_matrix_size_guard():
+    qc = QuantumCircuit(11)
+    with pytest.raises(CircuitError):
+        qc.to_matrix()
+
+
+def test_qubits_used():
+    qc = QuantumCircuit(5).h(1).cx(1, 3)
+    assert qc.qubits_used() == {1, 3}
+
+
+def test_copy_is_independent():
+    qc = QuantumCircuit(1).x(0)
+    dup = qc.copy()
+    dup.x(0)
+    assert len(qc) == 1
+    assert len(dup) == 2
+
+
+def test_unitary_append():
+    qc = QuantumCircuit(1)
+    qc.unitary(gate("h").matrix, [0], label="had")
+    assert qc[0].name == "had"
+
+
+def test_empty_circuit_depth_zero():
+    assert QuantumCircuit(3).depth() == 0

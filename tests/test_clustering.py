@@ -1,0 +1,121 @@
+"""Unit tests for k-means clustering and the cluster-count rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KMeans,
+    dot_fidelity,
+    min_nearest_fidelity,
+    nearest_center,
+    select_num_clusters,
+)
+from repro.errors import ClusteringError
+
+
+def _blobs(rng, centers, per_cluster=40, spread=0.05):
+    data = []
+    for center in centers:
+        data.append(center + spread * rng.normal(size=(per_cluster, len(center))))
+    return np.concatenate(data)
+
+
+def test_kmeans_recovers_separated_blobs(rng):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    data = _blobs(rng, centers)
+    model = KMeans(3, seed=0).fit(data)
+    found = model.centers_[np.argsort(model.centers_[:, 0])]
+    expected = centers[np.argsort(centers[:, 0])]
+    assert np.allclose(found, expected, atol=0.2)
+
+
+def test_labels_partition_all_samples(rng):
+    data = _blobs(rng, np.array([[0.0, 0.0], [4.0, 0.0]]))
+    model = KMeans(2, seed=0).fit(data)
+    assert model.labels_.shape == (data.shape[0],)
+    assert set(model.labels_) == {0, 1}
+
+
+def test_inertia_decreases_with_more_clusters(rng):
+    data = _blobs(rng, np.array([[0, 0], [3, 3], [6, 0], [0, 6]]), spread=0.4)
+    inertias = [
+        KMeans(k, seed=0).fit(data).inertia_ for k in (1, 2, 4)
+    ]
+    assert inertias[0] > inertias[1] > inertias[2]
+
+
+def test_seeded_fit_reproducible(rng):
+    data = _blobs(rng, np.array([[0.0, 0.0], [4.0, 4.0]]))
+    a = KMeans(2, seed=7).fit(data)
+    b = KMeans(2, seed=7).fit(data)
+    assert np.allclose(a.centers_, b.centers_)
+
+
+def test_predict_assigns_nearest(rng):
+    data = _blobs(rng, np.array([[0.0, 0.0], [10.0, 0.0]]))
+    model = KMeans(2, seed=0).fit(data)
+    label_near_origin = model.predict(np.array([[0.2, -0.1]]))[0]
+    assert np.linalg.norm(model.centers_[label_near_origin]) < 1.0
+
+
+def test_fit_validates_input():
+    with pytest.raises(ClusteringError):
+        KMeans(2).fit(np.ones(5))
+    with pytest.raises(ClusteringError):
+        KMeans(5).fit(np.ones((3, 2)))
+    with pytest.raises(ClusteringError):
+        KMeans(0)
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(ClusteringError):
+        KMeans(2).predict(np.ones((1, 2)))
+
+
+def test_dot_fidelity_properties(rng):
+    a = rng.normal(size=8)
+    assert dot_fidelity(a, a) == pytest.approx(1.0)
+    assert dot_fidelity(a, -a) == pytest.approx(1.0)  # global sign invariant
+    assert dot_fidelity(a, 3.0 * a) == pytest.approx(1.0)  # scale invariant
+    b = np.zeros(8)
+    b[0] = 1.0
+    c = np.zeros(8)
+    c[1] = 1.0
+    assert dot_fidelity(b, c) == pytest.approx(0.0)
+    with pytest.raises(ClusteringError):
+        dot_fidelity(a, np.zeros(8))
+
+
+def test_nearest_center():
+    centers = np.array([[0.0, 0.0], [10.0, 0.0]])
+    index, distance = nearest_center(np.array([9.0, 0.0]), centers)
+    assert index == 1
+    assert distance == pytest.approx(1.0)
+
+
+def test_min_nearest_fidelity_tight_clusters(rng):
+    base = rng.normal(size=16)
+    base /= np.linalg.norm(base)
+    data = base + 0.01 * rng.normal(size=(30, 16))
+    assert min_nearest_fidelity(data, base[None, :]) > 0.99
+
+
+def test_select_num_clusters_meets_threshold(rng):
+    # Three well-separated directions on the sphere.
+    basis = np.eye(8)[:3]
+    data = []
+    for direction in basis:
+        data.append(direction + 0.03 * rng.normal(size=(40, 8)))
+    data = np.concatenate(data)
+    data /= np.linalg.norm(data, axis=1, keepdims=True)
+    model = select_num_clusters(data, min_fidelity=0.95, seed=0)
+    assert min_nearest_fidelity(data, model.centers_) >= 0.95
+    assert model.num_clusters <= 6
+
+
+def test_select_num_clusters_respects_cap(rng):
+    data = rng.normal(size=(40, 8))  # unclusterable noise
+    model = select_num_clusters(
+        data, min_fidelity=0.999, max_clusters=5, seed=0
+    )
+    assert model.num_clusters <= 5

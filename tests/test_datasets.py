@@ -1,0 +1,80 @@
+"""Unit tests for the dataset registry and preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_dataset,
+    normalize_rows,
+    prepare_embedding_dataset,
+)
+from repro.errors import DataError
+
+
+def test_normalize_rows():
+    rows = normalize_rows(np.array([[3.0, 4.0], [1.0, 0.0]]))
+    assert np.allclose(np.linalg.norm(rows, axis=1), 1.0)
+
+
+def test_normalize_rejects_zero_rows():
+    with pytest.raises(DataError):
+        normalize_rows(np.zeros((2, 4)))
+
+
+def test_prepare_embedding_dataset_shapes(rng):
+    images = rng.random((300, 100))
+    labels = rng.integers(0, 3, 300)
+    ds = prepare_embedding_dataset("toy", images, labels, num_features=64)
+    assert ds.amplitudes.shape == (300, 64)
+    assert np.allclose(np.linalg.norm(ds.amplitudes, axis=1), 1.0)
+    assert ds.raw_dim == 100
+    assert ds.num_samples == 300
+    assert ds.num_features == 64
+
+
+def test_prepare_validates_inputs(rng):
+    with pytest.raises(DataError):
+        prepare_embedding_dataset(
+            "toy", rng.random((10, 20)), rng.integers(0, 2, 5)
+        )
+    with pytest.raises(DataError):
+        prepare_embedding_dataset(
+            "toy", rng.random((300, 100)), rng.integers(0, 2, 300),
+            num_features=60,
+        )
+
+
+def test_load_dataset_structure(mnist_small):
+    assert mnist_small.amplitudes.shape[1] == 256
+    assert len(mnist_small.classes()) == 5
+    assert mnist_small.num_samples == 5 * 60
+
+
+def test_class_slice(mnist_small):
+    label = int(mnist_small.classes()[0])
+    block = mnist_small.class_slice(label)
+    assert block.shape == (60, 256)
+
+
+def test_load_dataset_name_aliases():
+    for alias in ("F-MNIST", "fashion_mnist", "CIFAR-10"):
+        ds = load_dataset(alias, samples_per_class=52, num_classes=5, seed=0)
+        assert ds.name in ("fmnist", "cifar")
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(DataError):
+        load_dataset("imagenet")
+
+
+def test_load_dataset_reproducible():
+    a = load_dataset("mnist", samples_per_class=52, seed=3)
+    b = load_dataset("mnist", samples_per_class=52, seed=3)
+    assert np.allclose(a.amplitudes, b.amplitudes)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_classes_randomly_sampled_by_seed():
+    a = load_dataset("mnist", samples_per_class=52, seed=0)
+    b = load_dataset("mnist", samples_per_class=52, seed=99)
+    assert not np.array_equal(a.classes(), b.classes())

@@ -1,0 +1,95 @@
+"""Unit tests for two-qubit decomposition rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TranspilerError
+from repro.quantum import QuantumCircuit, gate, simulate_statevector
+from repro.transpile import decompose_to_cx, expand_cx
+from repro.transpile.decompositions import two_qubit_rule
+from repro.utils.linalg import allclose_up_to_global_phase
+from tests.conftest import random_circuit
+
+RULED_GATES = [
+    ("cy", ()),
+    ("cz", ()),
+    ("ch", ()),
+    ("swap", ()),
+    ("iswap", ()),
+    ("cp", (0.731,)),
+    ("crz", (-1.234,)),
+    ("cry", (0.456,)),
+    ("rzz", (2.1,)),
+]
+
+
+def _rule_matrix(name, params):
+    qc = QuantumCircuit(2)
+    for gate_name, gate_params, positions in two_qubit_rule(name, params):
+        qc.append(gate(gate_name, *gate_params), positions)
+    return qc.to_matrix()
+
+
+@pytest.mark.parametrize("name, params", RULED_GATES)
+def test_rule_matches_gate_matrix(name, params):
+    assert allclose_up_to_global_phase(
+        _rule_matrix(name, params), gate(name, *params).matrix
+    )
+
+
+def test_cx_and_1q_have_no_rule():
+    assert two_qubit_rule("cx", ()) is None
+
+
+def test_decompose_to_cx_only_cx_remains():
+    qc = random_circuit(4, 40, seed=0)
+    lowered = decompose_to_cx(qc)
+    two_qubit_names = {
+        i.name for i in lowered if i.gate.num_qubits == 2
+    }
+    assert two_qubit_names <= {"cx"}
+
+
+def test_decompose_to_cx_preserves_state():
+    for seed in (1, 2, 3):
+        qc = random_circuit(4, 30, seed=seed)
+        a = simulate_statevector(qc).data
+        b = simulate_statevector(decompose_to_cx(qc)).data
+        assert abs(np.vdot(a, b)) ** 2 == pytest.approx(1.0)
+
+
+def test_expand_cx_to_ecr_preserves_state():
+    qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).cx(0, 1)
+    expanded = expand_cx(qc, "ecr")
+    assert all(i.name != "cx" for i in expanded)
+    assert "ecr" in expanded.count_ops()
+    a = simulate_statevector(qc).data
+    b = simulate_statevector(expanded).data
+    assert abs(np.vdot(a, b)) ** 2 == pytest.approx(1.0)
+
+
+def test_expand_cx_to_cz_preserves_state():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    expanded = expand_cx(qc, "cz")
+    a = simulate_statevector(qc).data
+    b = simulate_statevector(expanded).data
+    assert abs(np.vdot(a, b)) ** 2 == pytest.approx(1.0)
+
+
+def test_expand_cx_passthrough():
+    qc = QuantumCircuit(2).cx(0, 1)
+    assert [i.name for i in expand_cx(qc, "cx")] == ["cx"]
+
+
+def test_expand_cx_unknown_entangler():
+    with pytest.raises(TranspilerError):
+        expand_cx(QuantumCircuit(2).cx(0, 1), "xx")
+
+
+def test_three_qubit_gates_rejected():
+    from repro.quantum.gates import Gate
+
+    qc = QuantumCircuit(3)
+    qc.append(Gate("ccx", 3, (), np.eye(8)), (0, 1, 2))
+    with pytest.raises(TranspilerError):
+        decompose_to_cx(qc)

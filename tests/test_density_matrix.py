@@ -1,0 +1,119 @@
+"""Unit tests for the density-matrix representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.quantum import (
+    DensityMatrix,
+    QuantumCircuit,
+    Statevector,
+    depolarizing_channel,
+    gate,
+    simulate_statevector,
+)
+
+
+def test_zero_state():
+    rho = DensityMatrix.zero_state(2)
+    assert rho.data[0, 0] == 1.0
+    assert rho.trace() == pytest.approx(1.0)
+
+
+def test_validation_rejects_bad_trace():
+    with pytest.raises(SimulationError):
+        DensityMatrix(np.eye(2))
+
+
+def test_validation_rejects_non_hermitian():
+    mat = np.array([[0.5, 1.0], [0.0, 0.5]])
+    with pytest.raises(SimulationError):
+        DensityMatrix(mat)
+
+
+def test_evolution_matches_statevector(rng):
+    qc = QuantumCircuit(3)
+    for _ in range(20):
+        q = int(rng.integers(3))
+        qc.rx(float(rng.uniform(-3, 3)), q)
+        qc.cy(q, (q + 1) % 3)
+    psi = simulate_statevector(qc)
+    rho = DensityMatrix.zero_state(3).evolve(qc)
+    assert np.allclose(rho.data, psi.density_matrix(), atol=1e-10)
+
+
+def test_apply_unitary_preserves_trace_and_hermiticity(rng):
+    rho = DensityMatrix.from_statevector(
+        Statevector.from_amplitudes(rng.normal(size=8))
+    )
+    rho.apply_unitary(gate("h").matrix, (1,))
+    assert rho.trace() == pytest.approx(1.0)
+    assert np.allclose(rho.data, rho.data.conj().T)
+
+
+def test_apply_channel_mixes_state():
+    rho = DensityMatrix.zero_state(1)
+    rho.apply_channel(depolarizing_channel(1.0, 1), (0,))
+    assert np.allclose(rho.data, np.eye(2) / 2)
+    assert rho.purity() == pytest.approx(0.5)
+
+
+def test_apply_channel_arity_check():
+    rho = DensityMatrix.zero_state(2)
+    with pytest.raises(SimulationError):
+        rho.apply_channel(depolarizing_channel(0.1, 1), (0, 1))
+
+
+def test_apply_superop_unitary_equivalence(rng):
+    rho = DensityMatrix.from_statevector(
+        Statevector.from_amplitudes(rng.normal(size=8))
+    )
+    ref = rho.copy().apply_unitary(gate("cx").matrix, (0, 2))
+    u = gate("cx").matrix
+    rho.apply_superop(np.kron(u, u.conj()), (0, 2))
+    assert np.allclose(rho.data, ref.data)
+
+
+def test_purity_of_pure_state():
+    rho = DensityMatrix.from_statevector(Statevector.zero_state(2))
+    assert rho.purity() == pytest.approx(1.0)
+
+
+def test_probabilities():
+    qc = QuantumCircuit(2).h(0)
+    rho = DensityMatrix.zero_state(2).evolve(qc)
+    assert np.allclose(rho.probabilities(), [0.5, 0, 0.5, 0])
+
+
+def test_expectation():
+    rho = DensityMatrix.zero_state(1)
+    z = np.diag([1.0, -1.0])
+    assert rho.expectation(z) == pytest.approx(1.0)
+
+
+def test_partial_trace_of_product_state():
+    qc = QuantumCircuit(2).x(1)
+    rho = DensityMatrix.zero_state(2).evolve(qc)
+    reduced = rho.partial_trace((1,))
+    assert np.allclose(reduced.data, np.diag([0.0, 1.0]))
+
+
+def test_partial_trace_of_bell_is_mixed():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    rho = DensityMatrix.zero_state(2).evolve(qc)
+    reduced = rho.partial_trace((0,))
+    assert np.allclose(reduced.data, np.eye(2) / 2)
+
+
+def test_partial_trace_keep_order():
+    qc = QuantumCircuit(2).x(0)  # |10>
+    rho = DensityMatrix.zero_state(2).evolve(qc)
+    keep_01 = rho.partial_trace((0, 1))
+    keep_10 = rho.partial_trace((1, 0))
+    assert keep_01.data[2, 2] == pytest.approx(1.0)  # |10> in (q0,q1) order
+    assert keep_10.data[1, 1] == pytest.approx(1.0)  # |01> in (q1,q0) order
+
+
+def test_circuit_qubit_mismatch():
+    with pytest.raises(SimulationError):
+        DensityMatrix.zero_state(2).evolve(QuantumCircuit(3).h(0))

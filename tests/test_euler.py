@@ -1,0 +1,103 @@
+"""Unit tests for single-qubit ZXZXZ synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TranspilerError
+from repro.quantum import gate, random_unitary
+from repro.transpile import physical_1q_cost, synthesize_1q, zyz_decompose
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+def _realize(ops):
+    mat = np.eye(2, dtype=complex)
+    for name, params in ops:
+        mat = gate(name, *params).matrix @ mat
+    return mat
+
+
+def test_zyz_reconstruction_random():
+    for seed in range(20):
+        u = random_unitary(1, seed=seed)
+        theta, phi, lam, phase = zyz_decompose(u)
+        rec = (
+            np.exp(1j * phase)
+            * gate("rz", phi).matrix
+            @ gate("ry", theta).matrix
+            @ gate("rz", lam).matrix
+        )
+        assert np.allclose(rec, u, atol=1e-9)
+        assert 0.0 <= theta <= np.pi + 1e-12
+
+
+@given(
+    st.floats(-np.pi, np.pi),
+    st.floats(-np.pi, np.pi),
+    st.floats(-np.pi, np.pi),
+)
+def test_synthesis_equivalence_property(theta, phi, lam):
+    u = (
+        gate("rz", phi).matrix
+        @ gate("ry", theta).matrix
+        @ gate("rz", lam).matrix
+    )
+    assert allclose_up_to_global_phase(_realize(synthesize_1q(u)), u)
+
+
+@pytest.mark.parametrize(
+    "name, expected_cost",
+    [
+        ("id", 0),
+        ("z", 0),
+        ("s", 0),
+        ("t", 0),
+        ("rz", 0),
+        ("x", 1),
+        ("y", 1),
+        ("sx", 1),
+        ("sxdg", 1),
+        ("h", 1),
+    ],
+)
+def test_special_case_costs(name, expected_cost):
+    g = gate(name, 0.37) if name == "rz" else gate(name)
+    assert physical_1q_cost(g.matrix) == expected_cost
+
+
+def test_generic_unitary_costs_two_sx():
+    u = gate("ry", 0.7).matrix
+    assert physical_1q_cost(u) == 2
+    assert allclose_up_to_global_phase(_realize(synthesize_1q(u)), u)
+
+
+def test_rx_half_pi_costs_one():
+    # The EnQode opening gate must be a single physical pulse.
+    u = gate("rx", -np.pi / 2).matrix
+    assert physical_1q_cost(u) == 1
+
+
+def test_identity_synthesizes_to_nothing():
+    assert synthesize_1q(np.eye(2)) == []
+    assert synthesize_1q(1j * np.eye(2)) == []  # global phase only
+
+
+def test_only_native_names_emitted():
+    for seed in range(10):
+        ops = synthesize_1q(random_unitary(1, seed=seed))
+        assert {name for name, _ in ops} <= {"rz", "sx", "x"}
+
+
+def test_rejects_non_unitary():
+    with pytest.raises(TranspilerError):
+        zyz_decompose(np.ones((2, 2)))
+    with pytest.raises(TranspilerError):
+        zyz_decompose(np.eye(4))
+
+
+def test_angles_wrapped():
+    ops = synthesize_1q(gate("rz", 11.0).matrix)  # 11 rad wraps
+    for name, params in ops:
+        assert name == "rz"
+        assert -np.pi <= params[0] <= np.pi

@@ -1,0 +1,99 @@
+"""Tests for the figure-experiment harness (scaled-down single dataset).
+
+These validate the *structural* claims each paper figure makes — EnQode's
+zero variability, Baseline exactness, depth/gate reductions — on a small
+MNIST-only configuration so the whole file stays in CI budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ExperimentConfig,
+    ExperimentContext,
+    circuit_metrics_sweep,
+    render_fig6,
+    render_fig7,
+    render_fig8a,
+    render_fig9a,
+    render_fig9b,
+    run_fig6,
+    run_fig7,
+    run_fig8a,
+    run_fig9a,
+    run_fig9b,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        ExperimentConfig(
+            datasets=("mnist",),
+            samples_per_class=52,
+            num_metric_samples=4,
+            num_fidelity_samples=3,
+            num_noisy_samples=1,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(context):
+    return circuit_metrics_sweep(context)
+
+
+def test_fig6_enqode_shallower_with_zero_variance(context, sweep):
+    results = run_fig6(context, sweep)["mnist"]
+    assert results["enqode"]["depth"].std == 0.0
+    assert results["enqode"]["total_gates"].std == 0.0
+    assert results["enqode"]["depth"].mean * 10 < results["baseline"]["depth"].mean
+    assert results["baseline"]["depth"].std > 0.0
+
+
+def test_fig7_gate_reductions(context, sweep):
+    results = run_fig7(context, sweep)["mnist"]
+    for metric in ("one_qubit_gates", "two_qubit_gates"):
+        assert results["enqode"][metric].std == 0.0
+        assert (
+            results["enqode"][metric].mean * 5
+            < results["baseline"][metric].mean
+        )
+
+
+def test_fig8a_baseline_exact_enqode_high(context):
+    results = run_fig8a(context)["mnist"]
+    assert results["baseline"].mean == pytest.approx(1.0, abs=1e-6)
+    assert 0.5 < results["enqode"].mean <= 1.0
+
+
+def test_fig9a_compile_times_positive(context, sweep):
+    results = run_fig9a(context, sweep)["mnist"]
+    assert results["baseline"]["compile_time"].mean > 0
+    assert results["enqode"]["compile_time"].mean > 0
+
+
+def test_fig9b_offline_report(context):
+    results = run_fig9b(context)["mnist"]
+    assert results["num_clusters"] >= 1
+    assert results["offline_total"] < 200.0  # the paper's bound
+    assert results["online"].mean < results["offline_total"]
+
+
+def test_renderers_produce_tables(context, sweep):
+    assert "MNIST" in render_fig6(run_fig6(context, sweep))
+    assert "1q gates" in render_fig7(run_fig7(context, sweep))
+    assert "Baseline" in render_fig8a(run_fig8a(context))
+    assert "std ratio" in render_fig9a(run_fig9a(context, sweep))
+    assert "clusters" in render_fig9b(run_fig9b(context))
+
+
+def test_stats_helpers():
+    from repro.evaluation import Stats
+
+    stats = Stats(values=[1.0, 2.0, 3.0])
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.min == 1.0 and stats.max == 3.0
+    row = stats.as_row()
+    assert set(row) == {"mean", "std", "min", "max"}
+    assert np.isnan(Stats().mean)

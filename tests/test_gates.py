@@ -1,0 +1,155 @@
+"""Unit tests for the gate library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum.gates import (
+    STANDARD_GATES,
+    VIRTUAL_GATE_NAMES,
+    Gate,
+    gate,
+    unitary_gate,
+)
+from repro.utils.linalg import allclose_up_to_global_phase, is_unitary
+
+PARAMETRIC = {
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u": 3,
+    "cp": 1,
+    "crz": 1,
+    "cry": 1,
+    "rzz": 1,
+}
+
+
+def _example(name):
+    arity = PARAMETRIC.get(name, 0)
+    return gate(name, *([0.7321] * arity))
+
+
+@pytest.mark.parametrize("name", sorted(STANDARD_GATES))
+def test_every_gate_is_unitary(name):
+    assert is_unitary(_example(name).matrix)
+
+
+@pytest.mark.parametrize("name", sorted(STANDARD_GATES))
+def test_inverse_composes_to_identity(name):
+    g = _example(name)
+    product = g.inverse().matrix @ g.matrix
+    assert allclose_up_to_global_phase(product, np.eye(2**g.num_qubits))
+
+
+@pytest.mark.parametrize("name", sorted(VIRTUAL_GATE_NAMES))
+def test_virtual_gates_are_diagonal(name):
+    g = _example(name)
+    assert g.is_virtual
+    off_diagonal = g.matrix - np.diag(np.diag(g.matrix))
+    assert np.allclose(off_diagonal, 0.0)
+
+
+def test_physical_gates_not_marked_virtual():
+    for name in ("x", "sx", "h", "rx", "ry", "cx", "ecr"):
+        assert not _example(name).is_virtual
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(CircuitError):
+        gate("nope")
+
+
+def test_rz_convention():
+    theta = 0.918
+    expected = np.diag([np.exp(-0.5j * theta), np.exp(0.5j * theta)])
+    assert np.allclose(gate("rz", theta).matrix, expected)
+
+
+def test_cy_matrix_phases():
+    cy = gate("cy").matrix
+    assert cy[3, 2] == pytest.approx(1j)
+    assert cy[2, 3] == pytest.approx(-1j)
+    assert np.allclose(cy[:2, :2], np.eye(2))
+
+
+def test_cry_pi_is_real_cy():
+    cry = gate("cry", np.pi).matrix
+    assert np.allclose(cry.imag, 0.0)
+    assert cry[3, 2] == pytest.approx(1.0)
+    assert cry[2, 3] == pytest.approx(-1.0)
+
+
+def test_cy_equals_s_on_control_times_cry_pi():
+    s_control = np.kron(gate("s").matrix, np.eye(2))
+    assert allclose_up_to_global_phase(
+        s_control @ gate("cry", np.pi).matrix, gate("cy").matrix
+    )
+
+
+def test_ecr_is_hermitian_involution():
+    ecr = gate("ecr").matrix
+    assert np.allclose(ecr, ecr.conj().T)
+    assert np.allclose(ecr @ ecr, np.eye(4))
+
+
+def test_sx_squared_is_x():
+    sx = gate("sx").matrix
+    assert allclose_up_to_global_phase(sx @ sx, gate("x").matrix)
+
+
+def test_swap_action():
+    swap = gate("swap").matrix
+    vec = np.zeros(4)
+    vec[1] = 1.0  # |01>
+    assert np.allclose(swap @ vec, [0, 0, 1, 0])  # -> |10>
+
+
+def test_gate_equality_and_hash():
+    assert gate("rz", 0.5) == gate("rz", 0.5)
+    assert gate("rz", 0.5) != gate("rz", 0.6)
+    assert hash(gate("x")) == hash(gate("x"))
+
+
+def test_gate_matrix_readonly():
+    g = gate("h")
+    with pytest.raises(ValueError):
+        g.matrix[0, 0] = 5.0
+
+
+def test_gate_shape_validation():
+    with pytest.raises(CircuitError):
+        Gate("bad", 2, (), np.eye(2))
+
+
+def test_unitary_gate_accepts_unitary():
+    u = unitary_gate(gate("h").matrix, label="had")
+    assert u.name == "had"
+    assert u.num_qubits == 1
+
+
+def test_unitary_gate_rejects_nonunitary():
+    with pytest.raises(CircuitError):
+        unitary_gate(np.ones((2, 2)))
+
+
+def test_unitary_gate_rejects_bad_shape():
+    with pytest.raises(CircuitError):
+        unitary_gate(np.eye(3))
+
+
+def test_u_gate_parameterization():
+    theta, phi, lam = 0.3, 1.1, -0.4
+    u = gate("u", theta, phi, lam).matrix
+    ref = (
+        gate("rz", phi).matrix
+        @ gate("ry", theta).matrix
+        @ gate("rz", lam).matrix
+    )
+    assert allclose_up_to_global_phase(u, ref)
+
+
+def test_repr_contains_name_and_params():
+    assert "rz" in repr(gate("rz", 0.25))
+    assert "0.25" in repr(gate("rz", 0.25))

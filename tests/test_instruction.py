@@ -1,0 +1,57 @@
+"""Unit tests for circuit instructions."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum.gates import gate
+from repro.quantum.instruction import Instruction
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(gate("cx"), (0,))
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(gate("cx"), (1, 1))
+
+
+def test_negative_qubits_rejected():
+    with pytest.raises(CircuitError):
+        Instruction(gate("x"), (-1,))
+
+
+def test_remap():
+    instr = Instruction(gate("cx"), (0, 2))
+    remapped = instr.remap({0: 5, 2: 1})
+    assert remapped.qubits == (5, 1)
+    assert remapped.gate == instr.gate
+
+
+def test_inverse_preserves_qubits():
+    instr = Instruction(gate("rz", 0.3), (1,))
+    inv = instr.inverse()
+    assert inv.qubits == (1,)
+    assert inv.gate.params == (-0.3,)
+
+
+def test_name_and_virtual_passthrough():
+    assert Instruction(gate("rz", 1.0), (0,)).is_virtual
+    assert not Instruction(gate("sx"), (0,)).is_virtual
+    assert Instruction(gate("sx"), (0,)).name == "sx"
+
+
+def test_equality_and_hash():
+    a = Instruction(gate("cx"), (0, 1))
+    b = Instruction(gate("cx"), (0, 1))
+    c = Instruction(gate("cx"), (1, 0))
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_iter_unpacking():
+    g, qubits = Instruction(gate("h"), (3,))
+    assert g.name == "h"
+    assert qubits == (3,)

@@ -1,0 +1,87 @@
+"""End-to-end integration tests across the full stack.
+
+One full pass of the paper's pipeline at 8 qubits: synthetic dataset ->
+PCA -> offline cluster training -> online embedding -> transpiled circuits
+-> ideal + noisy simulation, checking the paper's headline orderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineStatePreparation,
+    EnQodeConfig,
+    EnQodeEncoder,
+    state_fidelity,
+)
+from repro.quantum import DensityMatrixSimulator, simulate_statevector
+
+
+@pytest.fixture(scope="module")
+def pipeline(segment8, mnist_small):
+    label = int(mnist_small.classes()[0])
+    block = mnist_small.class_slice(label)
+    encoder = EnQodeEncoder(segment8, EnQodeConfig(seed=3))
+    encoder.fit(block)
+    baseline = BaselineStatePreparation(segment8)
+    return encoder, baseline, block
+
+
+def test_full_pipeline_orderings(pipeline, segment8):
+    encoder, baseline, block = pipeline
+    sample = block[5]
+
+    encoded = encoder.encode(sample)
+    prepared = baseline.prepare(sample)
+
+    # Fig. 6/7 orderings: EnQode is much cheaper, on every metric.
+    enqode_metrics = encoded.metrics()
+    baseline_metrics = prepared.metrics()
+    assert enqode_metrics.depth * 10 < baseline_metrics.depth
+    assert enqode_metrics.two_qubit_gates * 10 < baseline_metrics.two_qubit_gates
+    assert enqode_metrics.one_qubit_gates * 5 < baseline_metrics.one_qubit_gates
+
+    # Fig. 8a: Baseline is exact, EnQode approximate but high.
+    baseline_ideal = state_fidelity(
+        simulate_statevector(prepared.circuit), prepared.physical_target()
+    )
+    enqode_ideal = state_fidelity(
+        simulate_statevector(encoded.circuit), encoded.physical_target()
+    )
+    assert baseline_ideal == pytest.approx(1.0)
+    assert enqode_ideal > 0.6
+    assert enqode_ideal == pytest.approx(encoded.ideal_fidelity, abs=1e-9)
+
+    # Fig. 8b: under noise the ordering flips decisively.
+    simulator = DensityMatrixSimulator(segment8.noise_model())
+    baseline_noisy = state_fidelity(
+        simulator.run(prepared.circuit), prepared.physical_target()
+    )
+    enqode_noisy = state_fidelity(
+        simulator.run(encoded.circuit), encoded.physical_target()
+    )
+    assert enqode_noisy > 10 * baseline_noisy
+    assert enqode_noisy > 0.3
+
+
+def test_embedding_feeds_downstream_qml(pipeline):
+    """The Fig. 1 workflow: embedded states drive a variational classifier."""
+    from repro.qml import QMLClassifier
+
+    encoder, _, block = pipeline
+    states = [
+        simulate_statevector(encoder.encode(x).circuit) for x in block[:6]
+    ]
+    labels = np.array([0, 1, 0, 1, 0, 1])
+    model = QMLClassifier(8, num_layers=1, seed=0)
+    model.fit(states, labels, num_steps=12)
+    assert model.predict(states).shape == (6,)
+
+
+def test_offline_models_reusable_across_samples(pipeline):
+    encoder, _, block = pipeline
+    first = encoder.encode(block[0])
+    second = encoder.encode(block[1])
+    # Same fixed ansatz, different parameters.
+    assert not np.allclose(first.theta, second.theta)
+    assert first.metrics().as_row() == second.metrics().as_row()

@@ -1,0 +1,51 @@
+"""Unit tests for qubit layouts."""
+
+import pytest
+
+from repro.errors import TranspilerError
+from repro.transpile import Layout
+
+
+def test_trivial_layout():
+    layout = Layout.trivial(3)
+    assert [layout.physical(i) for i in range(3)] == [0, 1, 2]
+    assert layout.logical(1) == 1
+
+
+def test_non_injective_rejected():
+    with pytest.raises(TranspilerError):
+        Layout({0: 1, 1: 1})
+
+
+def test_swap_physical_updates_both_directions():
+    layout = Layout({0: 0, 1: 1})
+    layout.swap_physical(0, 1)
+    assert layout.physical(0) == 1
+    assert layout.physical(1) == 0
+    assert layout.logical(0) == 1
+
+
+def test_swap_with_empty_position():
+    layout = Layout({0: 0})  # physical 1 is an ancilla
+    layout.swap_physical(0, 1)
+    assert layout.physical(0) == 1
+    assert layout.logical(0) is None
+
+
+def test_missing_logical_raises():
+    with pytest.raises(TranspilerError):
+        Layout({0: 0}).physical(5)
+
+
+def test_copy_is_independent():
+    layout = Layout({0: 0, 1: 1})
+    copy = layout.copy()
+    copy.swap_physical(0, 1)
+    assert layout.physical(0) == 0
+    assert copy.physical(0) == 1
+
+
+def test_equality_and_dict_roundtrip():
+    layout = Layout({0: 2, 1: 0})
+    assert Layout(layout.as_dict()) == layout
+    assert layout.num_logical == 2

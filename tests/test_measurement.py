@@ -1,0 +1,104 @@
+"""Unit tests for measurement sampling and readout error."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.quantum import (
+    Counts,
+    DensityMatrix,
+    QuantumCircuit,
+    Statevector,
+    apply_readout_error,
+    backend_readout_errors,
+    sample_counts,
+    simulate_statevector,
+)
+
+
+def test_deterministic_state_samples_one_outcome():
+    counts = sample_counts(Statevector.zero_state(3), shots=100, seed=0)
+    assert counts == {"000": 100}
+    assert counts.shots == 100
+    assert counts.most_frequent() == "000"
+
+
+def test_bell_state_sampling_statistics():
+    psi = simulate_statevector(QuantumCircuit(2).h(0).cx(0, 1))
+    counts = sample_counts(psi, shots=4000, seed=1)
+    assert set(counts) == {"00", "11"}
+    assert abs(counts.probability("00") - 0.5) < 0.05
+
+
+def test_bitstring_order_qubit0_leftmost():
+    psi = simulate_statevector(QuantumCircuit(2).x(0))
+    counts = sample_counts(psi, shots=10, seed=0)
+    assert counts == {"10": 10}
+
+
+def test_density_matrix_sampling():
+    rho = DensityMatrix(np.diag([0.25, 0.75]))
+    counts = sample_counts(rho, shots=4000, seed=2)
+    assert abs(counts.probability("1") - 0.75) < 0.05
+
+
+def test_seeded_sampling_reproducible():
+    psi = simulate_statevector(QuantumCircuit(2).h(0).h(1))
+    a = sample_counts(psi, shots=100, seed=5)
+    b = sample_counts(psi, shots=100, seed=5)
+    assert a == b
+
+
+def test_expectation_z_from_counts():
+    counts = Counts({"00": 75, "10": 25})
+    assert counts.expectation_z(0) == pytest.approx(0.5)
+    assert counts.expectation_z(1) == pytest.approx(1.0)
+
+
+def test_readout_error_flips_probabilities():
+    probs = np.array([1.0, 0.0])
+    flipped = apply_readout_error(probs, [0.1])
+    assert np.allclose(flipped, [0.9, 0.1])
+
+
+def test_readout_error_multi_qubit():
+    probs = np.zeros(4)
+    probs[0] = 1.0  # |00>
+    noisy = apply_readout_error(probs, [0.1, 0.2])
+    assert noisy[0] == pytest.approx(0.9 * 0.8)
+    assert noisy[3] == pytest.approx(0.1 * 0.2)
+    assert noisy.sum() == pytest.approx(1.0)
+
+
+def test_readout_error_length_check():
+    with pytest.raises(SimulationError):
+        apply_readout_error(np.array([0.5, 0.5]), [0.1, 0.1])
+
+
+def test_sampling_with_readout_error():
+    counts = sample_counts(
+        Statevector.zero_state(1), shots=5000, seed=3, readout_errors=[0.1]
+    )
+    assert abs(counts.probability("1") - 0.1) < 0.02
+
+
+def test_invalid_shots_rejected():
+    with pytest.raises(SimulationError):
+        sample_counts(Statevector.zero_state(1), shots=0)
+
+
+def test_unnormalized_state_rejected():
+    with pytest.raises(SimulationError):
+        sample_counts(np.array([1.0, 1.0]))
+
+
+def test_backend_readout_errors(segment4):
+    errors = backend_readout_errors(segment4)
+    assert len(errors) == 4
+    assert all(0 < e < 1 for e in errors)
+
+
+def test_empty_counts_guards():
+    with pytest.raises(SimulationError):
+        Counts().most_frequent()
+    assert Counts().expectation_z(0) == 0.0

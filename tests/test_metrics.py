@@ -1,0 +1,52 @@
+"""Unit tests for circuit metrics and schedule durations."""
+
+import pytest
+
+from repro.quantum import QuantumCircuit
+from repro.transpile import circuit_metrics, schedule_duration
+
+
+def test_counts_exclude_virtual():
+    qc = QuantumCircuit(2)
+    qc.rz(0.1, 0).sx(0).rz(0.2, 0).ecr(0, 1).x(1).rz(0.3, 1)
+    metrics = circuit_metrics(qc)
+    assert metrics.one_qubit_gates == 2  # sx + x
+    assert metrics.two_qubit_gates == 1
+    assert metrics.total_gates == 3
+    assert metrics.virtual_gates == 3
+    assert metrics.counts == {"sx": 1, "x": 1, "ecr": 1}
+
+
+def test_depth_is_physical_depth():
+    qc = QuantumCircuit(1).rz(0.1, 0).sx(0).rz(0.2, 0).sx(0).rz(0.3, 0)
+    assert circuit_metrics(qc).depth == 2
+
+
+def test_as_row_keys():
+    row = circuit_metrics(QuantumCircuit(1).sx(0)).as_row()
+    assert set(row) == {
+        "depth",
+        "total_gates",
+        "one_qubit_gates",
+        "two_qubit_gates",
+    }
+
+
+def test_schedule_duration_serial_vs_parallel(segment4):
+    sx_time = segment4.gate_calibration("sx", (0,)).duration
+    serial = QuantumCircuit(4).sx(0).sx(0)
+    parallel = QuantumCircuit(4).sx(0).sx(1)
+    assert schedule_duration(serial, segment4) == pytest.approx(2 * sx_time)
+    assert schedule_duration(parallel, segment4) == pytest.approx(sx_time)
+
+
+def test_schedule_duration_virtual_gates_free(segment4):
+    qc = QuantumCircuit(4).rz(0.4, 0).rz(1.2, 0)
+    assert schedule_duration(qc, segment4) == 0.0
+
+
+def test_schedule_duration_two_qubit_sync(segment4):
+    qc = QuantumCircuit(4).sx(0).ecr(0, 1)
+    sx_time = segment4.gate_calibration("sx", (0,)).duration
+    ecr_time = segment4.gate_calibration("ecr", (0, 1)).duration
+    assert schedule_duration(qc, segment4) == pytest.approx(sx_time + ecr_time)

@@ -1,0 +1,58 @@
+"""Unit tests for exact Mottonen state preparation."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import mottonen_circuit
+from repro.quantum import (
+    random_real_amplitudes,
+    random_statevector,
+    simulate_statevector,
+)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 8])
+def test_real_amplitudes_prepared_exactly(n):
+    for seed in range(3):
+        target = random_real_amplitudes(2**n, seed=seed)
+        psi = simulate_statevector(mottonen_circuit(target))
+        assert abs(np.vdot(psi.data, target)) ** 2 == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_complex_amplitudes_prepared_exactly(n):
+    target = random_statevector(n, seed=n).data
+    psi = simulate_statevector(mottonen_circuit(target))
+    assert abs(np.vdot(psi.data, target)) ** 2 == pytest.approx(1.0)
+
+
+def test_negative_amplitudes_preserved():
+    target = np.array([0.5, -0.5, 0.5, -0.5])
+    psi = simulate_statevector(mottonen_circuit(target))
+    # Not just |amplitudes| — the signs must match (up to global phase).
+    overlap = np.vdot(psi.data, target)
+    assert abs(overlap) ** 2 == pytest.approx(1.0)
+
+
+def test_basis_states_are_cheap():
+    basis = np.zeros(256)
+    basis[0] = 1.0
+    dense = random_real_amplitudes(256, seed=0)
+    assert len(mottonen_circuit(basis)) < len(mottonen_circuit(dense))
+
+
+def test_unnormalized_input_normalized():
+    target = np.array([3.0, 0.0, 0.0, 4.0])
+    psi = simulate_statevector(mottonen_circuit(target))
+    assert abs(np.vdot(psi.data, target / 5.0)) ** 2 == pytest.approx(1.0)
+
+
+def test_uniform_superposition():
+    target = np.ones(8) / np.sqrt(8)
+    psi = simulate_statevector(mottonen_circuit(target))
+    assert abs(np.vdot(psi.data, target)) ** 2 == pytest.approx(1.0)
+
+
+def test_gate_vocabulary():
+    qc = mottonen_circuit(random_real_amplitudes(32, seed=2))
+    assert set(qc.count_ops()) <= {"ry", "rz", "cx"}

@@ -1,0 +1,85 @@
+"""Unit tests for per-class EnQode training."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnQodeConfig, PerClassEnQode
+from repro.data import prepare_embedding_dataset
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def toy_dataset():
+    """Two classes of clusterable 16-dim vectors via the real pipeline."""
+    rng = np.random.default_rng(0)
+    images = []
+    labels = []
+    prototypes = rng.normal(size=(2, 40))
+    for label in (0, 1):
+        block = prototypes[label] + 0.05 * rng.normal(size=(40, 40))
+        images.append(np.abs(block))
+        labels.extend([label] * 40)
+    return prepare_embedding_dataset(
+        "toy", np.concatenate(images), np.asarray(labels), num_features=16
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(segment4, toy_dataset):
+    model = PerClassEnQode(
+        segment4,
+        EnQodeConfig(
+            num_qubits=4,
+            num_layers=4,
+            offline_restarts=3,
+            offline_max_iterations=400,
+            seed=2,
+        ),
+    )
+    reports = model.fit(toy_dataset)
+    return model, reports
+
+
+def test_fit_trains_every_class(fitted):
+    model, reports = fitted
+    assert model.classes() == [0, 1]
+    assert set(reports) == {0, 1}
+    for report in reports.values():
+        assert report.num_clusters >= 1
+
+
+def test_encode_with_label(fitted, toy_dataset):
+    model, _ = fitted
+    sample = toy_dataset.class_slice(0)[0]
+    encoded = model.encode(sample, 0)
+    assert 0 < encoded.ideal_fidelity <= 1
+
+
+def test_encode_unknown_label_rejected(fitted, toy_dataset):
+    model, _ = fitted
+    with pytest.raises(OptimizationError):
+        model.encode(toy_dataset.amplitudes[0], 9)
+
+
+def test_encode_auto_routes_to_right_class(fitted, toy_dataset):
+    model, _ = fitted
+    for label in (0, 1):
+        sample = toy_dataset.class_slice(label)[1]
+        auto = model.encode_auto(sample)
+        manual = model.encode(sample, label)
+        # Auto-routing should reach (at least) the labelled fidelity.
+        assert auto.ideal_fidelity >= manual.ideal_fidelity - 0.05
+
+
+def test_encode_auto_before_fit_rejected(segment4):
+    model = PerClassEnQode(segment4, EnQodeConfig(num_qubits=4))
+    with pytest.raises(OptimizationError):
+        model.encode_auto(np.ones(16))
+
+
+def test_total_offline_time(fitted):
+    model, reports = fitted
+    total = model.total_offline_time()
+    assert total == pytest.approx(
+        sum(r.total_time for r in reports.values()), rel=1e-6
+    )

@@ -1,0 +1,108 @@
+"""Unit tests for Gray-code multiplexed rotations."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    append_multiplexed_rotation,
+    gray_code,
+    multiplexed_angles,
+    multiplexed_rotation_matrix,
+)
+from repro.errors import StatePreparationError
+from repro.quantum import QuantumCircuit
+from repro.utils.linalg import allclose_up_to_global_phase
+
+
+def test_gray_code_sequence():
+    assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+
+def test_gray_code_neighbors_differ_by_one_bit():
+    for i in range(31):
+        diff = gray_code(i) ^ gray_code(i + 1)
+        assert bin(diff).count("1") == 1
+
+
+@pytest.mark.parametrize("axis", ["ry", "rz"])
+@pytest.mark.parametrize("num_controls", [0, 1, 2, 3])
+def test_multiplexor_matches_block_diagonal(axis, num_controls, rng):
+    alpha = rng.uniform(-3, 3, 2**num_controls)
+    qc = QuantumCircuit(num_controls + 1)
+    append_multiplexed_rotation(
+        qc,
+        axis,
+        alpha,
+        target=num_controls,
+        controls=tuple(range(num_controls)),
+        prune_tol=0.0,
+    )
+    assert allclose_up_to_global_phase(
+        qc.to_matrix(), multiplexed_rotation_matrix(axis, alpha)
+    )
+
+
+def test_pruning_preserves_semantics_for_sparse_angles():
+    alpha = np.zeros(8)
+    alpha[5] = 0.9
+    qc = QuantumCircuit(4)
+    append_multiplexed_rotation(
+        qc, "ry", alpha, target=3, controls=(0, 1, 2), prune_tol=1e-10
+    )
+    assert allclose_up_to_global_phase(
+        qc.to_matrix(), multiplexed_rotation_matrix("ry", alpha)
+    )
+
+
+def test_pruning_reduces_gate_count(rng):
+    # Pruning acts on the Walsh-transformed angles: a *constant* alpha
+    # concentrates on theta_0 (everything else prunes away), while a
+    # generic alpha needs the full Gray-code walk.
+    generic_alpha = rng.uniform(0.5, 2.0, 8)
+    constant_alpha = np.full(8, 1.3)
+
+    def build(alpha):
+        qc = QuantumCircuit(4)
+        append_multiplexed_rotation(
+            qc, "ry", alpha, target=3, controls=(0, 1, 2), prune_tol=1e-9
+        )
+        return len(qc)
+
+    assert build(constant_alpha) == 1  # one unconditional rotation
+    assert build(constant_alpha) < build(generic_alpha)
+
+
+def test_all_zero_angles_collapse_to_nothing_or_identity():
+    qc = QuantumCircuit(3)
+    append_multiplexed_rotation(
+        qc, "ry", np.zeros(4), target=2, controls=(0, 1), prune_tol=1e-9
+    )
+    # The emitted CX mask telescopes to nothing.
+    assert allclose_up_to_global_phase(qc.to_matrix(), np.eye(8))
+
+
+def test_angle_transform_roundtrip(rng):
+    alpha = rng.uniform(-2, 2, 8)
+    theta = multiplexed_angles(alpha)
+    # alpha_j = sum_i (-1)^{<gray(i), j>} theta_i
+    size = alpha.size
+    rebuilt = np.zeros_like(alpha)
+    for j in range(size):
+        for i in range(size):
+            sign = (-1) ** bin(gray_code(i) & j).count("1")
+            rebuilt[j] += sign * theta[i]
+    assert np.allclose(rebuilt, alpha)
+
+
+def test_bad_angle_count_rejected():
+    with pytest.raises(StatePreparationError):
+        multiplexed_angles(np.ones(3))
+    qc = QuantumCircuit(3)
+    with pytest.raises(StatePreparationError):
+        append_multiplexed_rotation(qc, "ry", np.ones(4), 2, (0,))
+
+
+def test_bad_axis_rejected():
+    qc = QuantumCircuit(2)
+    with pytest.raises(StatePreparationError):
+        append_multiplexed_rotation(qc, "rx", np.ones(2), 1, (0,))

@@ -1,0 +1,97 @@
+"""Unit tests for the noise-model container."""
+
+import pytest
+
+from repro.errors import NoiseModelError
+from repro.quantum import NoiseModel, depolarizing_channel, gate
+from repro.quantum.instruction import Instruction
+
+
+def _instr(name, qubits, *params):
+    return Instruction(gate(name, *params), qubits)
+
+
+def test_trivial_model():
+    model = NoiseModel()
+    assert model.is_trivial()
+    assert model.rules_for(_instr("sx", (0,))) == []
+
+
+def test_virtual_gates_cannot_carry_noise():
+    model = NoiseModel()
+    with pytest.raises(NoiseModelError):
+        model.add_all_qubit_quantum_error(depolarizing_channel(0.1, 1), "rz")
+    with pytest.raises(NoiseModelError):
+        model.add_quantum_error(depolarizing_channel(0.1, 1), "rz", (0,))
+
+
+def test_virtual_instruction_gets_no_rules():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(depolarizing_channel(0.1, 1), "sx")
+    assert model.rules_for(_instr("rz", (0,), 0.3)) == []
+
+
+def test_default_rule_matches_any_qubits():
+    model = NoiseModel()
+    channel = depolarizing_channel(0.1, 1)
+    model.add_all_qubit_quantum_error(channel, "sx")
+    for q in (0, 3, 7):
+        rules = model.rules_for(_instr("sx", (q,)))
+        assert rules == [(channel, (q,))]
+
+
+def test_default_1q_channel_expands_over_2q_gate():
+    model = NoiseModel()
+    channel = depolarizing_channel(0.1, 1)
+    model.add_all_qubit_quantum_error(channel, "ecr")
+    rules = model.rules_for(_instr("ecr", (2, 5)))
+    assert rules == [(channel, (2,)), (channel, (5,))]
+
+
+def test_local_rule_exact_qubits_only():
+    model = NoiseModel()
+    channel = depolarizing_channel(0.05, 2)
+    model.add_quantum_error(channel, "ecr", (0, 1))
+    assert model.rules_for(_instr("ecr", (0, 1))) == [(channel, (0, 1))]
+    assert model.rules_for(_instr("ecr", (1, 0))) == []
+
+
+def test_local_rule_with_sub_targets():
+    model = NoiseModel()
+    channel = depolarizing_channel(0.05, 1)
+    model.add_quantum_error(channel, "ecr", (0, 1), targets=(1,))
+    assert model.rules_for(_instr("ecr", (0, 1))) == [(channel, (1,))]
+
+
+def test_targets_must_be_subset():
+    model = NoiseModel()
+    with pytest.raises(NoiseModelError):
+        model.add_quantum_error(
+            depolarizing_channel(0.05, 1), "ecr", (0, 1), targets=(2,)
+        )
+
+
+def test_targets_arity_must_match_channel():
+    model = NoiseModel()
+    with pytest.raises(NoiseModelError):
+        model.add_quantum_error(
+            depolarizing_channel(0.05, 2), "ecr", (0, 1), targets=(1,)
+        )
+
+
+def test_local_and_default_rules_combine():
+    model = NoiseModel()
+    local = depolarizing_channel(0.02, 2)
+    default = depolarizing_channel(0.01, 1)
+    model.add_quantum_error(local, "ecr", (0, 1))
+    model.add_all_qubit_quantum_error(default, "ecr")
+    rules = model.rules_for(_instr("ecr", (0, 1)))
+    assert (local, (0, 1)) in rules
+    assert (default, (0,)) in rules and (default, (1,)) in rules
+
+
+def test_noisy_gate_names():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(depolarizing_channel(0.1, 1), ["sx", "x"])
+    model.add_quantum_error(depolarizing_channel(0.1, 2), "ecr", (0, 1))
+    assert model.noisy_gate_names == {"sx", "x", "ecr"}

@@ -1,0 +1,42 @@
+"""Unit tests for the noise-scale sweep (cheap pieces only; the full
+crossover is exercised by benchmarks/bench_extension_noise_sweep.py)."""
+
+import pytest
+
+from repro.evaluation import NoisePoint, render_noise_sweep
+from repro.evaluation.noise_sweep import scaled_backend
+from repro.hardware.calibration import BRISBANE_MEDIANS
+
+
+def test_scaled_backend_scales_errors_down():
+    nominal = scaled_backend(1.0)
+    improved = scaled_backend(0.01)
+    edge = nominal.coupling_map.edges[0]
+    assert improved.gate_calibration("ecr", edge).error < (
+        0.05 * nominal.gate_calibration("ecr", edge).error
+    )
+    assert improved.qubit(0).t1 > 50 * nominal.qubit(0).t1
+
+
+def test_scaled_backend_error_capped():
+    worst = scaled_backend(1000.0)
+    edge = worst.coupling_map.edges[0]
+    assert worst.gate_calibration("ecr", edge).error <= 0.5  # hard cap
+
+
+def test_noise_point_winner():
+    assert NoisePoint(1.0, 0.6, 0.01).enqode_wins
+    assert not NoisePoint(0.001, 0.9, 0.99).enqode_wins
+
+
+def test_render():
+    table = render_noise_sweep(
+        [NoisePoint(1.0, 0.6, 0.01), NoisePoint(0.001, 0.9, 0.99)]
+    )
+    assert "EnQode" in table and "Baseline" in table
+    assert table.count("\n") == 3
+
+
+def test_medians_untouched_globally():
+    scaled_backend(0.5)
+    assert BRISBANE_MEDIANS["ecr_error"] == pytest.approx(7.5e-3)

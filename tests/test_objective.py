@@ -1,0 +1,87 @@
+"""Unit tests for the symbolic fidelity objective and its gradient."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EnQodeAnsatz, FidelityObjective, build_symbolic
+from repro.errors import OptimizationError
+from repro.quantum import random_real_amplitudes, simulate_statevector
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ansatz = EnQodeAnsatz(4, 3)
+    symbolic = build_symbolic(ansatz)
+    target = random_real_amplitudes(16, seed=0)
+    return ansatz, symbolic, FidelityObjective(symbolic, ansatz, target)
+
+
+def test_fidelity_in_unit_interval(setup, rng):
+    _, _, objective = setup
+    for _ in range(10):
+        theta = rng.uniform(-np.pi, np.pi, 12)
+        assert 0.0 <= objective.fidelity(theta) <= 1.0
+
+
+def test_loss_is_one_minus_fidelity(setup, rng):
+    _, _, objective = setup
+    theta = rng.uniform(-np.pi, np.pi, 12)
+    loss, _ = objective.value_and_grad(theta)
+    assert loss == pytest.approx(1.0 - objective.fidelity(theta))
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_analytic_gradient_matches_finite_differences(seed):
+    ansatz = EnQodeAnsatz(3, 2)
+    symbolic = build_symbolic(ansatz)
+    objective = FidelityObjective(
+        symbolic, ansatz, random_real_amplitudes(8, seed=1)
+    )
+    theta = np.random.default_rng(seed).uniform(-2, 2, 6)
+    _, grad = objective.value_and_grad(theta)
+    numeric = objective.numerical_grad(theta)
+    assert np.allclose(grad, numeric, atol=1e-5)
+
+
+def test_fidelity_against_circuit_simulation(setup, rng):
+    ansatz, _, objective = setup
+    theta = rng.uniform(-np.pi, np.pi, 12)
+    psi = simulate_statevector(ansatz.circuit(theta)).data
+    direct = abs(np.vdot(objective.target, psi)) ** 2
+    assert objective.fidelity(theta) == pytest.approx(direct)
+
+
+def test_embedded_state_is_ansatz_output(setup, rng):
+    ansatz, _, objective = setup
+    theta = rng.uniform(-np.pi, np.pi, 12)
+    psi = simulate_statevector(ansatz.circuit(theta)).data
+    assert np.allclose(objective.embedded_state(theta), psi)
+
+
+def test_target_normalized_internally(setup):
+    ansatz, symbolic, _ = setup
+    target = 7.3 * random_real_amplitudes(16, seed=5)
+    objective = FidelityObjective(symbolic, ansatz, target)
+    assert np.linalg.norm(objective.target) == pytest.approx(1.0)
+
+
+def test_zero_target_rejected(setup):
+    ansatz, symbolic, _ = setup
+    with pytest.raises(OptimizationError):
+        FidelityObjective(symbolic, ansatz, np.zeros(16))
+
+
+def test_wrong_dimension_rejected(setup):
+    ansatz, symbolic, _ = setup
+    with pytest.raises(OptimizationError):
+        FidelityObjective(symbolic, ansatz, np.ones(8))
+
+
+def test_overlap_magnitude_consistent(setup, rng):
+    _, _, objective = setup
+    theta = rng.uniform(-np.pi, np.pi, 12)
+    assert abs(objective.overlap(theta)) ** 2 == pytest.approx(
+        objective.fidelity(theta)
+    )

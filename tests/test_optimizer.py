@@ -1,0 +1,78 @@
+"""Unit tests for the L-BFGS optimization driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnQodeAnsatz,
+    FidelityObjective,
+    LBFGSOptimizer,
+    build_symbolic,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ansatz = EnQodeAnsatz(4, 4)
+    symbolic = build_symbolic(ansatz)
+    target = np.zeros(16)
+    target[0] = 1.0  # reachable target (see test_symbolic)
+    return ansatz, FidelityObjective(symbolic, ansatz, target)
+
+
+def test_converges_on_reachable_target(problem):
+    _, objective = problem
+    result = LBFGSOptimizer(num_restarts=8, seed=0).optimize(objective)
+    assert result.fidelity > 0.99
+    assert result.loss == pytest.approx(1.0 - result.fidelity)
+
+
+def test_result_bookkeeping(problem):
+    _, objective = problem
+    result = LBFGSOptimizer(num_restarts=2, seed=1).optimize(objective)
+    assert result.num_iterations > 0
+    assert result.num_evaluations >= result.num_iterations
+    assert result.time > 0.0
+    assert 1 <= result.restarts_used <= 2
+    assert len(result.history) == result.restarts_used
+
+
+def test_warm_start_uses_theta0(problem):
+    _, objective = problem
+    reference = LBFGSOptimizer(num_restarts=8, seed=0).optimize(objective)
+    warm = LBFGSOptimizer().optimize(objective, theta0=reference.theta)
+    assert warm.restarts_used == 1
+    assert warm.fidelity >= reference.fidelity - 1e-9
+    # Warm start from the optimum should take almost no iterations.
+    assert warm.num_iterations <= 5
+
+
+def test_early_exit_on_target_fidelity(problem):
+    _, objective = problem
+    optimizer = LBFGSOptimizer(
+        num_restarts=10, seed=0, target_fidelity=0.5
+    )
+    result = optimizer.optimize(objective)
+    assert result.restarts_used < 10
+
+
+def test_max_iterations_bounds_work(problem):
+    _, objective = problem
+    short = LBFGSOptimizer(max_iterations=3, num_restarts=1, seed=2)
+    result = short.optimize(objective)
+    assert result.num_iterations <= 3
+
+
+def test_seeded_restarts_reproducible(problem):
+    _, objective = problem
+    a = LBFGSOptimizer(num_restarts=2, seed=42).optimize(objective)
+    b = LBFGSOptimizer(num_restarts=2, seed=42).optimize(objective)
+    assert np.allclose(a.theta, b.theta)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(OptimizationError):
+        LBFGSOptimizer(max_iterations=0)
+    with pytest.raises(OptimizationError):
+        LBFGSOptimizer(num_restarts=0)

@@ -1,0 +1,95 @@
+"""Unit tests for circuit-rewrite passes."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import QuantumCircuit, simulate_statevector
+from repro.transpile import (
+    cancel_adjacent_cx,
+    merge_1q_runs,
+    resynthesize_1q,
+    translate_1q,
+)
+from tests.conftest import random_circuit
+
+
+def _states_match(a, b):
+    va = simulate_statevector(a).data
+    vb = simulate_statevector(b).data
+    return abs(np.vdot(va, vb)) ** 2 == pytest.approx(1.0)
+
+
+def test_merge_collapses_runs():
+    qc = QuantumCircuit(2)
+    qc.h(0).s(0).t(0).sx(0).cx(0, 1).h(1)
+    merged = merge_1q_runs(qc)
+    names = [i.name for i in merged]
+    assert names == ["u1q", "cx", "u1q"]
+    assert _states_match(qc, merged)
+
+
+def test_merge_drops_identity_runs():
+    qc = QuantumCircuit(1).s(0).sdg(0)
+    assert len(merge_1q_runs(qc)) == 0
+
+
+def test_merge_preserves_random_circuits():
+    for seed in range(4):
+        qc = random_circuit(4, 30, seed=seed)
+        assert _states_match(qc, merge_1q_runs(qc))
+
+
+def test_resynthesize_emits_native_only():
+    qc = random_circuit(3, 20, seed=5)
+    native = resynthesize_1q(merge_1q_runs(qc))
+    for instr in native:
+        if instr.gate.num_qubits == 1:
+            assert instr.name in {"rz", "sx", "x"}
+    assert _states_match(qc, native)
+
+
+def test_translate_1q_keeps_native_untouched():
+    qc = QuantumCircuit(1).sx(0).rz(0.4, 0).h(0)
+    lowered = translate_1q(qc, frozenset({"sx", "x", "rz"}))
+    names = [i.name for i in lowered]
+    assert names[0] == "sx" and names[1] == "rz"
+    assert "h" not in names
+    assert _states_match(qc, lowered)
+
+
+def test_cancel_adjacent_cx_removes_pairs():
+    qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+    assert len(cancel_adjacent_cx(qc)) == 0
+
+
+def test_cancel_handles_triple():
+    qc = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+    assert len(cancel_adjacent_cx(qc)) == 1
+
+
+def test_cancel_blocked_by_interposed_gate():
+    qc = QuantumCircuit(2).cx(0, 1).rz(0.3, 1).cx(0, 1)
+    assert len(cancel_adjacent_cx(qc)) == 3
+
+
+def test_cancel_not_fooled_by_reversed_direction():
+    qc = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+    assert len(cancel_adjacent_cx(qc)) == 2
+
+
+def test_cancel_works_across_other_qubits():
+    qc = QuantumCircuit(3).cx(0, 1).h(2).cx(0, 1)
+    cancelled = cancel_adjacent_cx(qc)
+    assert [i.name for i in cancelled] == ["h"]
+
+
+def test_cancel_chains_of_pairs():
+    # After cancelling the inner pair, the outer pair becomes adjacent.
+    qc = QuantumCircuit(2).cy(0, 1).cx(0, 1).cx(0, 1).cy(0, 1)
+    assert len(cancel_adjacent_cx(qc)) == 0
+
+
+def test_cancel_preserves_semantics():
+    for seed in range(3):
+        qc = random_circuit(4, 25, seed=seed + 40)
+        assert _states_match(qc, cancel_adjacent_cx(qc))

@@ -1,0 +1,74 @@
+"""Unit tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.data import PCA
+from repro.errors import DataError
+
+
+def _low_rank_data(rng, n=200, d=50, rank=5):
+    basis = rng.normal(size=(rank, d))
+    weights = rng.normal(size=(n, rank)) * np.linspace(5, 1, rank)
+    return weights @ basis + 0.01 * rng.normal(size=(n, d))
+
+
+def test_components_orthonormal(rng):
+    pca = PCA(8).fit(_low_rank_data(rng))
+    gram = pca.components_ @ pca.components_.T
+    assert np.allclose(gram, np.eye(8), atol=1e-8)
+
+
+def test_variance_sorted_descending(rng):
+    pca = PCA(10).fit(_low_rank_data(rng))
+    variances = pca.explained_variance_
+    assert np.all(np.diff(variances) <= 1e-9)
+
+
+def test_low_rank_data_explained(rng):
+    pca = PCA(5).fit(_low_rank_data(rng, rank=5))
+    assert pca.explained_variance_ratio_.sum() > 0.99
+
+
+def test_transform_inverse_roundtrip(rng):
+    data = _low_rank_data(rng, rank=4)
+    pca = PCA(4).fit(data)
+    rebuilt = pca.inverse_transform(pca.transform(data))
+    assert np.allclose(rebuilt, data, atol=0.2)
+
+
+def test_transform_centers_data(rng):
+    data = _low_rank_data(rng) + 100.0
+    features = PCA(3).fit(data).transform(data)
+    assert np.allclose(features.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_deterministic_sign_convention(rng):
+    data = _low_rank_data(rng)
+    a = PCA(4).fit(data).components_
+    b = PCA(4).fit(data).components_
+    assert np.allclose(a, b)
+
+
+def test_too_many_components_rejected(rng):
+    with pytest.raises(DataError):
+        PCA(60).fit(rng.normal(size=(10, 50)))
+
+
+def test_transform_before_fit_rejected():
+    with pytest.raises(DataError):
+        PCA(2).transform(np.ones((3, 4)))
+
+
+def test_bad_inputs_rejected():
+    with pytest.raises(DataError):
+        PCA(0)
+    with pytest.raises(DataError):
+        PCA(2).fit(np.ones(10))
+
+
+def test_fit_transform_equals_fit_then_transform(rng):
+    data = _low_rank_data(rng)
+    a = PCA(3).fit_transform(data)
+    b = PCA(3).fit(data).transform(data)
+    assert np.allclose(a, b)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for core physical invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baseline import mottonen_circuit
+from repro.core import EnQodeAnsatz, FidelityObjective, build_symbolic
+from repro.quantum import (
+    DensityMatrix,
+    QuantumCircuit,
+    amplitude_damping_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    simulate_statevector,
+    state_fidelity,
+)
+
+finite_angle = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(finite_angle, min_size=3, max_size=3), st.integers(0, 2))
+def test_rotations_preserve_norm(angles, qubit):
+    qc = QuantumCircuit(3)
+    qc.rx(angles[0], qubit).ry(angles[1], (qubit + 1) % 3).rz(angles[2], qubit)
+    qc.cy(qubit, (qubit + 1) % 3)
+    psi = simulate_statevector(qc)
+    assert abs(np.linalg.norm(psi.data) - 1.0) < 1e-10
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.sampled_from(
+        [depolarizing_channel, amplitude_damping_channel, phase_damping_channel]
+    ),
+    st.integers(0, 2**31 - 1),
+)
+def test_channels_preserve_trace_and_positivity(p, factory, seed):
+    channel = factory(p)
+    rng = np.random.default_rng(seed)
+    mat = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    rho = DensityMatrix(
+        (mat @ mat.conj().T) / np.trace(mat @ mat.conj().T).real,
+        validate=False,
+    )
+    rho.apply_channel(channel, (0,))
+    assert abs(rho.trace() - 1.0) < 1e-9
+    eigenvalues = np.linalg.eigvalsh(rho.data)
+    assert eigenvalues.min() > -1e-9
+
+
+@given(st.integers(0, 2**31 - 1))
+def test_channels_never_increase_purity_under_depolarizing(seed):
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=4) + 1j * rng.normal(size=4)
+    vec /= np.linalg.norm(vec)
+    rho = DensityMatrix.from_statevector(vec)
+    before = rho.purity()
+    rho.apply_channel(depolarizing_channel(0.3, 1), (1,))
+    assert rho.purity() <= before + 1e-10
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(2, 5))
+def test_mottonen_exact_for_random_real_vectors(seed, num_qubits):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=2**num_qubits)
+    target /= np.linalg.norm(target)
+    psi = simulate_statevector(mottonen_circuit(target))
+    assert abs(np.vdot(psi.data, target)) ** 2 > 1.0 - 1e-9
+
+
+@given(st.integers(0, 2**31 - 1))
+def test_symbolic_state_flat_and_normalized(seed):
+    ansatz = EnQodeAnsatz(4, 3)
+    symbolic = build_symbolic(ansatz)
+    theta = np.random.default_rng(seed).uniform(-np.pi, np.pi, 12)
+    amplitudes = symbolic.amplitudes(theta)
+    assert np.allclose(np.abs(amplitudes), 0.25)
+    assert abs(np.linalg.norm(amplitudes) - 1.0) < 1e-10
+
+
+@given(st.integers(0, 2**31 - 1))
+def test_objective_gradient_property(seed):
+    rng = np.random.default_rng(seed)
+    ansatz = EnQodeAnsatz(3, 2)
+    symbolic = build_symbolic(ansatz)
+    target = rng.normal(size=8)
+    target /= np.linalg.norm(target)
+    objective = FidelityObjective(symbolic, ansatz, target)
+    theta = rng.uniform(-np.pi, np.pi, 6)
+    loss, grad = objective.value_and_grad(theta)
+    assert 0.0 <= loss <= 1.0
+    assert np.allclose(grad, objective.numerical_grad(theta), atol=1e-5)
+
+
+@given(st.integers(0, 2**31 - 1))
+def test_fidelity_bounds_property(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=8) + 1j * rng.normal(size=8)
+    a /= np.linalg.norm(a)
+    mat = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+    sigma = mat @ mat.conj().T
+    sigma /= np.trace(sigma).real
+    f = state_fidelity(a, sigma)
+    assert 0.0 <= f <= 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for the VQC classifier head and QML model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.qml import QMLClassifier, VariationalClassifier
+from repro.quantum import DensityMatrix, Statevector
+
+
+def test_vqc_parameter_count():
+    assert VariationalClassifier(4, 2).num_parameters == 16
+    assert VariationalClassifier(8, 3).num_parameters == 48
+
+
+def test_vqc_circuit_structure():
+    vqc = VariationalClassifier(3, 2)
+    qc = vqc.circuit(np.zeros(12))
+    counts = qc.count_ops()
+    assert counts["ry"] == 6
+    assert counts["rz"] == 6
+    assert counts["cx"] == 4
+
+
+def test_vqc_parameter_validation():
+    with pytest.raises(OptimizationError):
+        VariationalClassifier(3, 2).circuit(np.zeros(5))
+    with pytest.raises(OptimizationError):
+        VariationalClassifier(1)
+
+
+def test_expectation_range(rng):
+    vqc = VariationalClassifier(3, 2)
+    theta = rng.uniform(-np.pi, np.pi, vqc.num_parameters)
+    state = Statevector.zero_state(3)
+    value = vqc.expectation_z0(state, theta)
+    assert -1.0 <= value <= 1.0
+
+
+def test_expectation_identity_circuit():
+    vqc = VariationalClassifier(2, 1)
+    theta = np.zeros(vqc.num_parameters)
+    # Identity rotations + CX on |00> leaves <Z_0> = +1.
+    assert vqc.expectation_z0(
+        Statevector.zero_state(2), theta
+    ) == pytest.approx(1.0)
+
+
+def test_expectation_accepts_density_matrix(rng):
+    vqc = VariationalClassifier(2, 1)
+    theta = rng.uniform(-1, 1, vqc.num_parameters)
+    psi = Statevector.zero_state(2)
+    rho = DensityMatrix.from_statevector(psi)
+    assert vqc.expectation_z0(rho, theta) == pytest.approx(
+        vqc.expectation_z0(psi, theta)
+    )
+
+
+def test_decision_is_binary(rng):
+    vqc = VariationalClassifier(2, 1)
+    theta = rng.uniform(-np.pi, np.pi, vqc.num_parameters)
+    assert vqc.decision(Statevector.zero_state(2), theta) in (0, 1)
+
+
+def _separable_problem():
+    """States |00..> (class 0) vs |10..> (class 1): trivially separable."""
+    zero = Statevector.zero_state(3)
+    one = Statevector.zero_state(3)
+    one.apply_gate(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+    states = [zero, one] * 6
+    labels = np.array([0, 1] * 6)
+    return states, labels
+
+
+def test_training_learns_separable_problem():
+    states, labels = _separable_problem()
+    model = QMLClassifier(3, num_layers=1, seed=0)
+    model.fit(states, labels, num_steps=60)
+    assert model.accuracy(states, labels) == pytest.approx(1.0)
+
+
+def test_training_reduces_loss():
+    states, labels = _separable_problem()
+    model = QMLClassifier(3, num_layers=1, seed=1)
+    initial = model.loss(states, labels)
+    history = model.fit(states, labels, num_steps=50)
+    assert history.losses[-1] <= initial + 1e-9
+
+
+def test_predict_shape():
+    states, labels = _separable_problem()
+    model = QMLClassifier(3, num_layers=1, seed=2)
+    model.fit(states, labels, num_steps=30)
+    assert model.predict(states).shape == labels.shape
+
+
+def test_fit_validates_labels():
+    states, _ = _separable_problem()
+    model = QMLClassifier(3, seed=0)
+    with pytest.raises(OptimizationError):
+        model.fit(states, np.arange(len(states)))
+    with pytest.raises(OptimizationError):
+        model.fit(states, np.zeros(3))

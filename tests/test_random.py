@@ -1,0 +1,40 @@
+"""Unit tests for random state/unitary generation."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import random_real_amplitudes, random_statevector, random_unitary
+from repro.utils.linalg import is_unitary
+
+
+def test_random_statevector_normalized():
+    psi = random_statevector(4, seed=0)
+    assert np.linalg.norm(psi.data) == pytest.approx(1.0)
+    assert psi.num_qubits == 4
+
+
+def test_random_statevector_seeded_reproducible():
+    a = random_statevector(3, seed=7).data
+    b = random_statevector(3, seed=7).data
+    assert np.allclose(a, b)
+
+
+def test_random_statevector_different_seeds_differ():
+    a = random_statevector(3, seed=1).data
+    b = random_statevector(3, seed=2).data
+    assert not np.allclose(a, b)
+
+
+def test_random_real_amplitudes_unit_norm():
+    vec = random_real_amplitudes(256, seed=3)
+    assert vec.dtype == np.float64
+    assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+
+def test_random_unitary_is_unitary():
+    for n in (1, 2, 3):
+        assert is_unitary(random_unitary(n, seed=n))
+
+
+def test_random_unitary_reproducible():
+    assert np.allclose(random_unitary(2, seed=5), random_unitary(2, seed=5))

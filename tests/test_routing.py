@@ -1,0 +1,97 @@
+"""Unit tests for SWAP-insertion routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TranspilerError
+from repro.hardware import linear_chain
+from repro.quantum import QuantumCircuit, simulate_statevector
+from repro.transpile import Layout, route
+
+
+def test_adjacent_gates_need_no_swaps():
+    qc = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+    result = route(qc, linear_chain(4))
+    assert result.num_swaps_inserted == 0
+    assert result.final_layout == result.initial_layout
+
+
+def test_distant_gate_inserts_swaps():
+    qc = QuantumCircuit(4).cx(0, 3)
+    result = route(qc, linear_chain(4))
+    assert result.num_swaps_inserted == 2
+    for instr in result.circuit:
+        if instr.gate.num_qubits == 2:
+            a, b = instr.qubits
+            assert abs(a - b) == 1
+
+
+def test_all_gates_coupled_after_routing():
+    rng = np.random.default_rng(0)
+    qc = QuantumCircuit(6)
+    for _ in range(25):
+        a, b = rng.choice(6, size=2, replace=False)
+        qc.cx(int(a), int(b))
+    result = route(qc, linear_chain(6))
+    coupling = linear_chain(6)
+    for instr in result.circuit:
+        if instr.gate.num_qubits == 2:
+            assert coupling.are_connected(*instr.qubits)
+
+
+def test_routed_circuit_equivalent_up_to_final_layout():
+    rng = np.random.default_rng(3)
+    qc = QuantumCircuit(4)
+    for _ in range(12):
+        a, b = rng.choice(4, size=2, replace=False)
+        qc.cx(int(a), int(b))
+        qc.rx(float(rng.uniform(-3, 3)), int(a))
+    result = route(qc, linear_chain(4))
+    original = simulate_statevector(qc).data
+    routed = simulate_statevector(result.circuit).data
+    # Undo the final layout permutation and compare.
+    n = 4
+    perm = np.zeros(2**n, dtype=int)
+    for idx in range(2**n):
+        out = 0
+        for logical in range(n):
+            bit = (idx >> (n - 1 - logical)) & 1
+            out |= bit << (n - 1 - result.final_layout.physical(logical))
+        perm[out] = idx
+    assert abs(np.vdot(routed, original[perm])) ** 2 == pytest.approx(1.0)
+
+
+def test_seeded_routing_reproducible_and_varies():
+    qc = QuantumCircuit(5)
+    rng = np.random.default_rng(1)
+    for _ in range(15):
+        a, b = rng.choice(5, size=2, replace=False)
+        qc.cx(int(a), int(b))
+    chain = linear_chain(5)
+    first = route(qc, chain, seed=10)
+    second = route(qc, chain, seed=10)
+    assert len(first.circuit) == len(second.circuit)
+    lengths = {len(route(qc, chain, seed=s).circuit) for s in range(12)}
+    assert len(lengths) > 1  # stochastic tie-breaking changes the outcome
+
+
+def test_initial_layout_respected():
+    qc = QuantumCircuit(2).cx(0, 1)
+    layout = Layout({0: 2, 1: 0})
+    result = route(qc, linear_chain(3), initial_layout=layout)
+    # Physical distance 2 -> one swap needed.
+    assert result.num_swaps_inserted == 1
+
+
+def test_too_many_qubits_rejected():
+    with pytest.raises(TranspilerError):
+        route(QuantumCircuit(5).cx(0, 1), linear_chain(3))
+
+
+def test_multi_qubit_gate_rejected():
+    from repro.quantum.gates import Gate
+
+    qc = QuantumCircuit(3)
+    qc.append(Gate("ccx", 3, (), np.eye(8)), (0, 1, 2))
+    with pytest.raises(TranspilerError):
+        route(qc, linear_chain(3))

@@ -1,0 +1,37 @@
+"""Tests for the qubit-count scaling study (small width for speed)."""
+
+import pytest
+
+from repro.evaluation import render_scaling, run_qubit_scaling
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_qubit_scaling(
+        qubit_counts=(4, 5), samples_per_class=52, num_eval_samples=3
+    )
+
+
+def test_row_per_width(rows):
+    assert [row.num_qubits for row in rows] == [4, 5]
+
+
+def test_enqode_cost_fixed_and_small(rows):
+    for row in rows:
+        assert row.enqode_two_qubit < row.baseline_two_qubit_mean
+        assert row.enqode_depth < row.baseline_depth_mean
+
+
+def test_baseline_cost_grows_with_width(rows):
+    assert rows[1].baseline_two_qubit_mean > rows[0].baseline_two_qubit_mean
+
+
+def test_fidelity_usable_at_all_widths(rows):
+    for row in rows:
+        assert 0.5 < row.enqode_fidelity_mean <= 1.0
+
+
+def test_render(rows):
+    table = render_scaling(rows)
+    assert "EnQ fid" in table
+    assert table.count("\n") >= len(rows) + 1

@@ -1,0 +1,105 @@
+"""Unit tests for EnQode model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnQodeConfig,
+    EnQodeEncoder,
+    encoder_from_dict,
+    encoder_to_dict,
+    load_encoder,
+    save_encoder,
+)
+from repro.errors import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def fitted(segment4):
+    rng = np.random.default_rng(0)
+    center = rng.normal(size=16)
+    center /= np.linalg.norm(center)
+    samples = center + 0.03 * rng.normal(size=(30, 16))
+    samples /= np.linalg.norm(samples, axis=1, keepdims=True)
+    encoder = EnQodeEncoder(
+        segment4,
+        EnQodeConfig(
+            num_qubits=4,
+            num_layers=4,
+            offline_restarts=3,
+            offline_max_iterations=400,
+            seed=1,
+        ),
+    )
+    encoder.fit(samples)
+    return encoder, samples
+
+
+def test_unfitted_encoder_not_serializable(segment4):
+    with pytest.raises(OptimizationError):
+        encoder_to_dict(EnQodeEncoder(segment4, EnQodeConfig(num_qubits=4)))
+
+
+def test_roundtrip_preserves_models(fitted, segment4):
+    encoder, _ = fitted
+    restored = encoder_from_dict(encoder_to_dict(encoder), segment4)
+    assert len(restored.cluster_models) == len(encoder.cluster_models)
+    for a, b in zip(restored.cluster_models, encoder.cluster_models):
+        assert np.allclose(a.theta, b.theta)
+        assert np.allclose(a.center, b.center)
+        assert a.fidelity == pytest.approx(b.fidelity)
+
+
+def test_restored_encoder_encodes_identically(fitted, segment4):
+    encoder, samples = fitted
+    restored = encoder_from_dict(encoder_to_dict(encoder), segment4)
+    original = encoder.encode(samples[3])
+    reloaded = restored.encode(samples[3])
+    assert np.allclose(original.theta, reloaded.theta)
+    assert original.ideal_fidelity == pytest.approx(reloaded.ideal_fidelity)
+
+
+def test_file_roundtrip(fitted, segment4, tmp_path):
+    encoder, samples = fitted
+    path = tmp_path / "model.json"
+    save_encoder(encoder, path)
+    restored = load_encoder(path, segment4)
+    assert restored.is_fitted
+    assert restored.encode(samples[0]).ideal_fidelity == pytest.approx(
+        encoder.encode(samples[0]).ideal_fidelity
+    )
+
+
+def test_json_is_plain_and_versioned(fitted, tmp_path):
+    encoder, _ = fitted
+    path = tmp_path / "model.json"
+    save_encoder(encoder, path)
+    payload = json.loads(path.read_text())
+    assert payload["format_version"] == 1
+    assert "clusters" in payload and "config" in payload
+
+
+def test_version_mismatch_rejected(fitted, segment4):
+    encoder, _ = fitted
+    payload = encoder_to_dict(encoder)
+    payload["format_version"] = 99
+    with pytest.raises(OptimizationError):
+        encoder_from_dict(payload, segment4)
+
+
+def test_dimension_mismatch_rejected(fitted, segment4):
+    encoder, _ = fitted
+    payload = encoder_to_dict(encoder)
+    payload["clusters"][0]["center"] = [1.0, 0.0]
+    with pytest.raises(OptimizationError):
+        encoder_from_dict(payload, segment4)
+
+
+def test_empty_clusters_rejected(fitted, segment4):
+    encoder, _ = fitted
+    payload = encoder_to_dict(encoder)
+    payload["clusters"] = []
+    with pytest.raises(OptimizationError):
+        encoder_from_dict(payload, segment4)

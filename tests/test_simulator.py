@@ -1,0 +1,118 @@
+"""Unit tests for the simulator front-ends (incl. fused noisy path)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    NoiseModel,
+    QuantumCircuit,
+    StatevectorSimulator,
+    depolarizing_channel,
+    state_fidelity,
+    thermal_relaxation_channel,
+)
+
+
+def _noise_model():
+    model = NoiseModel()
+    model.add_quantum_error(depolarizing_channel(0.05, 2), "ecr", (0, 1))
+    model.add_quantum_error(
+        thermal_relaxation_channel(2e-4, 1.2e-4, 6.6e-7),
+        "ecr",
+        (0, 1),
+        targets=(0,),
+    )
+    model.add_quantum_error(
+        thermal_relaxation_channel(1e-4, 0.8e-4, 6.6e-7),
+        "ecr",
+        (0, 1),
+        targets=(1,),
+    )
+    model.add_all_qubit_quantum_error(depolarizing_channel(0.01, 1), "sx")
+    return model
+
+
+def _reference_run(circuit, model):
+    state = DensityMatrix.zero_state(circuit.num_qubits)
+    for instr in circuit:
+        state.apply_unitary(instr.gate.matrix, instr.qubits)
+        for channel, targets in model.rules_for(instr):
+            state.apply_channel(channel, targets)
+    return state
+
+
+def test_statevector_simulator_bell():
+    psi = StatevectorSimulator().run(QuantumCircuit(2).h(0).cx(0, 1))
+    assert np.allclose(psi.data, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+
+def test_noiseless_density_sim_matches_statevector():
+    qc = QuantumCircuit(2).h(0).cy(0, 1).rz(0.4, 1)
+    rho = DensityMatrixSimulator().run(qc)
+    psi = StatevectorSimulator().run(qc)
+    assert state_fidelity(rho, psi) == pytest.approx(1.0)
+
+
+def test_fused_noisy_path_matches_sequential_reference():
+    model = _noise_model()
+    qc = QuantumCircuit(3)
+    qc.sx(0).ecr(0, 1).rz(0.3, 1).sx(2).ecr(0, 1).sx(1).rz(-0.2, 0)
+    fast = DensityMatrixSimulator(model).run(qc)
+    reference = _reference_run(qc, model)
+    assert np.allclose(fast.data, reference.data, atol=1e-12)
+
+
+def test_noise_reduces_fidelity_monotonically():
+    target = QuantumCircuit(2).h(0).cx(0, 1)
+    psi = StatevectorSimulator().run(target)
+    fidelities = []
+    for p in (0.0, 0.05, 0.2):
+        model = NoiseModel()
+        if p > 0:
+            model.add_all_qubit_quantum_error(depolarizing_channel(p, 2), "cx")
+        rho = DensityMatrixSimulator(model).run(target)
+        fidelities.append(state_fidelity(rho, psi))
+    assert fidelities[0] == pytest.approx(1.0)
+    assert fidelities[0] > fidelities[1] > fidelities[2]
+
+
+def test_rz_stays_noiseless():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(depolarizing_channel(0.5, 1), "sx")
+    qc = QuantumCircuit(1).rz(1.3, 0)
+    rho = DensityMatrixSimulator(model).run(qc)
+    assert rho.purity() == pytest.approx(1.0)
+
+
+def test_initial_state_is_not_mutated():
+    initial = DensityMatrix.zero_state(1)
+    DensityMatrixSimulator().run(QuantumCircuit(1).x(0), initial_state=initial)
+    assert initial.data[0, 0] == pytest.approx(1.0)
+
+
+def test_initial_state_qubit_mismatch():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        DensityMatrixSimulator().run(
+            QuantumCircuit(2).h(0), initial_state=DensityMatrix.zero_state(1)
+        )
+
+
+def test_fused_cache_reused_across_runs():
+    model = _noise_model()
+    sim = DensityMatrixSimulator(model)
+    qc = QuantumCircuit(2).ecr(0, 1).ecr(0, 1)
+    sim.run(qc)
+    cache_size = len(sim._fused_cache)
+    sim.run(qc)
+    assert len(sim._fused_cache) == cache_size == 1
+
+
+def test_trace_preserved_under_noise():
+    model = _noise_model()
+    qc = QuantumCircuit(3).sx(0).ecr(0, 1).sx(1).sx(2).ecr(0, 1)
+    rho = DensityMatrixSimulator(model).run(qc)
+    assert rho.trace() == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Unit tests for state metrics (Jozsa fidelity, purity, trace distance)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    DensityMatrix,
+    QuantumCircuit,
+    Statevector,
+    purity,
+    random_statevector,
+    state_fidelity,
+    trace_distance,
+)
+
+
+def test_fidelity_identical_pure_states():
+    psi = random_statevector(3, seed=0)
+    assert state_fidelity(psi, psi) == pytest.approx(1.0)
+
+
+def test_fidelity_orthogonal_pure_states():
+    a = np.array([1.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert state_fidelity(a, b) == pytest.approx(0.0)
+
+
+def test_fidelity_pure_vs_mixed():
+    psi = Statevector.zero_state(1)
+    maximally_mixed = DensityMatrix(np.eye(2) / 2)
+    assert state_fidelity(psi, maximally_mixed) == pytest.approx(0.5)
+
+
+def test_fidelity_mixed_vs_mixed_jozsa():
+    rho = DensityMatrix(np.diag([0.7, 0.3]))
+    sigma = DensityMatrix(np.diag([0.4, 0.6]))
+    expected = (np.sqrt(0.7 * 0.4) + np.sqrt(0.3 * 0.6)) ** 2
+    assert state_fidelity(rho, sigma) == pytest.approx(expected)
+
+
+def test_fidelity_is_symmetric(rng):
+    rho = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    rho = rho @ rho.conj().T
+    rho /= np.trace(rho)
+    sigma = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    sigma = sigma @ sigma.conj().T
+    sigma /= np.trace(sigma)
+    assert state_fidelity(rho, sigma) == pytest.approx(
+        state_fidelity(sigma, rho), rel=1e-8
+    )
+
+
+def test_fidelity_bounds(rng):
+    for _ in range(10):
+        a = random_statevector(2, rng)
+        sigma = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        sigma = sigma @ sigma.conj().T
+        sigma /= np.trace(sigma)
+        f = state_fidelity(a, sigma)
+        assert 0.0 <= f <= 1.0
+
+
+def test_fidelity_global_phase_invariant():
+    psi = random_statevector(2, seed=1).data
+    assert state_fidelity(psi, np.exp(0.73j) * psi) == pytest.approx(1.0)
+
+
+def test_fidelity_accepts_raw_arrays():
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    rho = np.outer(bell, bell)
+    assert state_fidelity(bell, rho) == pytest.approx(1.0)
+
+
+def test_fidelity_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        state_fidelity(np.ones((2, 3)), np.ones(4))
+
+
+def test_purity():
+    assert purity(Statevector.zero_state(2)) == pytest.approx(1.0)
+    assert purity(DensityMatrix(np.eye(4) / 4)) == pytest.approx(0.25)
+
+
+def test_trace_distance_extremes():
+    a = np.array([1.0, 0.0])
+    b = np.array([0.0, 1.0])
+    assert trace_distance(a, b) == pytest.approx(1.0)
+    assert trace_distance(a, a) == pytest.approx(0.0)
+
+
+def test_trace_distance_fidelity_inequality(rng):
+    # 1 - sqrt(F) <= D <= sqrt(1 - F) for pure states.
+    for _ in range(10):
+        a = random_statevector(2, rng)
+        b = random_statevector(2, rng)
+        f = state_fidelity(a, b)
+        d = trace_distance(a, b)
+        assert 1 - np.sqrt(f) <= d + 1e-9
+        assert d <= np.sqrt(1 - f) + 1e-9
+
+
+def test_fidelity_of_evolved_bell_pair():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    rho = DensityMatrix.zero_state(2).evolve(qc)
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    assert state_fidelity(rho, bell) == pytest.approx(1.0)

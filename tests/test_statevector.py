@@ -1,0 +1,124 @@
+"""Unit tests for the statevector simulator and contraction kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.quantum import QuantumCircuit, Statevector, simulate_statevector
+from repro.quantum.statevector import contract_op
+
+
+def test_zero_state():
+    psi = Statevector.zero_state(3)
+    assert psi.data[0] == 1.0
+    assert np.allclose(psi.data[1:], 0.0)
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(SimulationError):
+        Statevector(np.ones(3) / np.sqrt(3))
+
+
+def test_unnormalized_rejected():
+    with pytest.raises(SimulationError):
+        Statevector(np.array([1.0, 1.0]))
+
+
+def test_from_amplitudes_normalizes():
+    psi = Statevector.from_amplitudes([3.0, 4.0])
+    assert np.allclose(psi.data, [0.6, 0.8])
+
+
+def test_from_amplitudes_zero_vector_rejected():
+    with pytest.raises(SimulationError):
+        Statevector.from_amplitudes([0.0, 0.0])
+
+
+def test_bell_state():
+    psi = simulate_statevector(QuantumCircuit(2).h(0).cx(0, 1))
+    assert np.allclose(psi.data, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+
+def test_qubit0_is_most_significant():
+    # X on qubit 0 of 2 qubits -> |10> = index 2.
+    psi = simulate_statevector(QuantumCircuit(2).x(0))
+    assert psi.data[2] == pytest.approx(1.0)
+
+
+def test_evolution_preserves_norm():
+    qc = QuantumCircuit(4)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        qc.rx(float(rng.uniform(-3, 3)), int(rng.integers(4)))
+        a = int(rng.integers(4))
+        qc.cx(a, (a + 1) % 4)
+    psi = simulate_statevector(qc)
+    assert np.linalg.norm(psi.data) == pytest.approx(1.0)
+
+
+def test_qubit_count_mismatch():
+    with pytest.raises(SimulationError):
+        Statevector.zero_state(2).evolve(QuantumCircuit(3).h(0))
+
+
+def test_probabilities_sum_to_one():
+    psi = simulate_statevector(QuantumCircuit(3).h(0).h(1).h(2))
+    assert psi.probabilities().sum() == pytest.approx(1.0)
+    assert np.allclose(psi.probabilities(), 1 / 8)
+
+
+def test_fidelity_of_orthogonal_states():
+    a = Statevector.zero_state(1)
+    b = Statevector(np.array([0.0, 1.0]), validate=False)
+    assert a.fidelity(b) == pytest.approx(0.0)
+    assert a.fidelity(a) == pytest.approx(1.0)
+
+
+def test_expectation_z():
+    z = np.diag([1.0, -1.0])
+    assert Statevector.zero_state(1).expectation(z) == pytest.approx(1.0)
+
+
+def test_density_matrix_of_pure_state():
+    psi = simulate_statevector(QuantumCircuit(2).h(0))
+    rho = psi.density_matrix()
+    assert np.trace(rho) == pytest.approx(1.0)
+    assert np.allclose(rho, rho.conj().T)
+
+
+def test_contract_op_matches_tensordot_reference(rng):
+    for _ in range(15):
+        m = int(rng.integers(3, 8))
+        k = int(rng.integers(1, min(4, m) + 1))
+        axes = list(rng.choice(m, size=k, replace=False))
+        op = rng.normal(size=(2**k, 2**k)) + 1j * rng.normal(size=(2**k, 2**k))
+        tensor = rng.normal(size=(2,) * m) + 1j * rng.normal(size=(2,) * m)
+        reference = np.tensordot(
+            op.reshape((2,) * 2 * k), tensor, axes=(range(k, 2 * k), axes)
+        )
+        reference = np.moveaxis(reference, range(k), axes)
+        assert np.allclose(contract_op(tensor, op, axes), reference)
+
+
+def test_contract_op_diagonal_fast_path(rng):
+    tensor = rng.normal(size=(2,) * 6) + 0j
+    diag = np.diag(np.exp(1j * rng.normal(size=4)))
+    got = contract_op(tensor, diag, [1, 4])
+    reference = np.tensordot(
+        diag.reshape(2, 2, 2, 2), tensor, axes=((2, 3), (1, 4))
+    )
+    reference = np.moveaxis(reference, (0, 1), (1, 4))
+    assert np.allclose(got, reference)
+
+
+def test_apply_gate_order_sensitivity():
+    # CX(0,1) vs CX(1,0) differ; the qubit tuple order must be honored.
+    from repro.quantum.gates import gate
+
+    psi1 = Statevector.zero_state(2).apply_gate(gate("x").matrix, (0,))
+    psi1.apply_gate(gate("cx").matrix, (0, 1))
+    assert psi1.data[3] == pytest.approx(1.0)  # |11>
+
+    psi2 = Statevector.zero_state(2).apply_gate(gate("x").matrix, (0,))
+    psi2.apply_gate(gate("cx").matrix, (1, 0))
+    assert psi2.data[2] == pytest.approx(1.0)  # control=qubit1 is 0: no-op

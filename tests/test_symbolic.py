@@ -1,0 +1,111 @@
+"""Unit tests for the symbolic phase-state engine — the paper's Eq. 6."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EnQodeAnsatz, SymbolicState, build_symbolic
+from repro.errors import OptimizationError
+from repro.quantum import simulate_statevector
+
+
+@pytest.mark.parametrize("entangler", ["cy", "cx", "cz", "cry"])
+@pytest.mark.parametrize("n,layers", [(2, 1), (3, 2), (4, 3), (5, 5)])
+def test_symbolic_matches_dense_simulation(entangler, n, layers, rng):
+    ansatz = EnQodeAnsatz(n, layers, entangler)
+    symbolic = SymbolicState.from_ansatz(ansatz)
+    theta = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+    dense = simulate_statevector(ansatz.circuit(theta)).data
+    assert np.allclose(symbolic.embedded_amplitudes(theta, ansatz), dense)
+
+
+def test_symbolic_matches_dense_at_paper_scale(rng):
+    ansatz = EnQodeAnsatz(8, 8)
+    symbolic = SymbolicState.from_ansatz(ansatz)
+    theta = rng.uniform(-np.pi, np.pi, 64)
+    dense = simulate_statevector(ansatz.circuit(theta)).data
+    assert np.max(
+        np.abs(symbolic.embedded_amplitudes(theta, ansatz) - dense)
+    ) < 1e-12
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_preclosing_amplitudes_are_flat(seed):
+    ansatz = EnQodeAnsatz(4, 3)
+    symbolic = build_symbolic(ansatz)
+    theta = np.random.default_rng(seed).uniform(-np.pi, np.pi, 12)
+    amplitudes = symbolic.amplitudes(theta)
+    # Eq. 6: every amplitude has magnitude exactly 2^(-n/2).
+    assert np.allclose(np.abs(amplitudes), 0.25)
+
+
+def test_phase_matrix_entries_in_eq6_alphabet():
+    for entangler in ("cy", "cx", "cz"):
+        symbolic = build_symbolic(EnQodeAnsatz(5, 4, entangler))
+        assert set(np.unique(symbolic.phase_matrix)) <= {-1, 0, 1}
+        assert set(np.unique(symbolic.k_pow)) <= {0, 1, 2, 3}
+
+
+def test_phase_matrix_rows_balanced():
+    # Each Rz contributes +1 on half the basis states and -1 on the other.
+    symbolic = build_symbolic(EnQodeAnsatz(4, 2))
+    sums = symbolic.phase_matrix.astype(int).sum(axis=0)
+    assert np.all(sums == 0)
+
+
+def test_embedded_state_normalized(rng):
+    ansatz = EnQodeAnsatz(4, 4)
+    symbolic = build_symbolic(ansatz)
+    theta = rng.uniform(-np.pi, np.pi, 16)
+    embedded = symbolic.embedded_amplitudes(theta, ansatz)
+    assert np.linalg.norm(embedded) == pytest.approx(1.0)
+
+
+def test_theta_size_validated():
+    symbolic = build_symbolic(EnQodeAnsatz(3, 2))
+    with pytest.raises(OptimizationError):
+        symbolic.amplitudes(np.zeros(5))
+
+
+def test_orientation_alternation_changes_state(rng):
+    theta = rng.uniform(-np.pi, np.pi, 32)
+    with_alt = EnQodeAnsatz(4, 8, alternate_orientation=True)
+    without = EnQodeAnsatz(4, 8, alternate_orientation=False)
+    a = build_symbolic(with_alt).embedded_amplitudes(theta, with_alt)
+    b = build_symbolic(without).embedded_amplitudes(theta, without)
+    assert not np.allclose(np.abs(np.vdot(a, b)) ** 2, 1.0)
+
+
+def test_basis_state_reachable_with_alternating_cy():
+    """|10...0> requires the CY phases to telescope (the reproduction's
+    load-bearing detail; see ansatz module docstring)."""
+    from repro.core import FidelityObjective, LBFGSOptimizer
+
+    ansatz = EnQodeAnsatz(4, 4)
+    symbolic = build_symbolic(ansatz)
+    e0 = np.zeros(16)
+    e0[0] = 1.0
+    objective = FidelityObjective(symbolic, ansatz, e0)
+    result = LBFGSOptimizer(num_restarts=8, seed=0).optimize(objective)
+    assert result.fidelity > 0.99
+
+
+def test_even_layer_count_required_for_telescoping():
+    """Odd layer counts leave an uncancelled CY-phase residue: |0...01>
+    class targets become unreachable (regression test for the even-L
+    rule documented in the ansatz docstring)."""
+    from repro.core import FidelityObjective, LBFGSOptimizer
+
+    e0 = np.zeros(16)
+    e0[0] = 1.0
+
+    def best(layers):
+        ansatz = EnQodeAnsatz(4, layers)
+        objective = FidelityObjective(build_symbolic(ansatz), ansatz, e0)
+        return LBFGSOptimizer(num_restarts=6, seed=0).optimize(
+            objective
+        ).fidelity
+
+    assert best(4) > 0.99
+    assert best(5) < 0.9  # odd L: phase residue blocks exact reachability

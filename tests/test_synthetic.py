@@ -1,0 +1,83 @@
+"""Unit tests for the synthetic image-dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10, synthetic_fashion_mnist, synthetic_mnist
+from repro.errors import DataError
+
+
+@pytest.mark.parametrize(
+    "generator, pixels",
+    [
+        (synthetic_mnist, 28 * 28),
+        (synthetic_fashion_mnist, 28 * 28),
+        (synthetic_cifar10, 32 * 32 * 3),
+    ],
+)
+def test_shapes_and_range(generator, pixels):
+    images, labels = generator(classes=[0, 1], samples_per_class=5, seed=0)
+    assert images.shape == (10, pixels)
+    assert labels.shape == (10,)
+    assert images.min() >= 0.0 and images.max() <= 1.0
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [synthetic_mnist, synthetic_fashion_mnist, synthetic_cifar10],
+)
+def test_deterministic_by_seed(generator):
+    a, _ = generator(classes=[1], samples_per_class=3, seed=5)
+    b, _ = generator(classes=[1], samples_per_class=3, seed=5)
+    c, _ = generator(classes=[1], samples_per_class=3, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [synthetic_mnist, synthetic_fashion_mnist, synthetic_cifar10],
+)
+def test_eight_bit_quantization(generator):
+    images, _ = generator(classes=[0], samples_per_class=2, seed=0)
+    assert np.allclose(images * 255.0, np.round(images * 255.0), atol=1e-9)
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [synthetic_mnist, synthetic_fashion_mnist, synthetic_cifar10],
+)
+def test_within_class_tighter_than_between(generator):
+    images, labels = generator(classes=[0, 1], samples_per_class=15, seed=0)
+    a = images[labels == 0]
+    b = images[labels == 1]
+
+    def mean_distance(x, y):
+        return np.mean(
+            [np.linalg.norm(x[i] - y[j]) for i in range(5) for j in range(5)]
+        )
+
+    within = mean_distance(a, a[5:])
+    between = mean_distance(a, b)
+    assert within < between
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(DataError):
+        synthetic_mnist(classes=[42], samples_per_class=1)
+    with pytest.raises(DataError):
+        synthetic_fashion_mnist(classes=[-3], samples_per_class=1)
+    with pytest.raises(DataError):
+        synthetic_cifar10(classes=[11], samples_per_class=1)
+
+
+def test_all_ten_mnist_digits_render():
+    images, labels = synthetic_mnist(samples_per_class=1, seed=0)
+    assert len(np.unique(labels)) == 10
+    assert np.all(images.max(axis=1) > 0.3)  # every digit leaves ink
+
+
+def test_all_ten_garments_render():
+    images, labels = synthetic_fashion_mnist(samples_per_class=1, seed=0)
+    assert len(np.unique(labels)) == 10
+    assert np.all(images.max(axis=1) > 0.3)

@@ -1,0 +1,69 @@
+"""Unit tests for coupling maps and the heavy-hex lattice."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.hardware import CouplingMap, heavy_hex_127, linear_chain
+
+
+def test_heavy_hex_shape():
+    hh = heavy_hex_127()
+    assert hh.num_qubits == 127
+    assert len(hh.edges) == 144  # the real Eagle edge count
+    assert hh.is_connected()
+
+
+def test_heavy_hex_degree_bound():
+    hh = heavy_hex_127()
+    degrees = dict(hh.graph.degree)
+    assert max(degrees.values()) == 3  # heavy-hex property
+    assert min(degrees.values()) >= 1
+
+
+def test_heavy_hex_known_bridges():
+    hh = heavy_hex_127()
+    # Spot-check documented ibm_brisbane bridge connections.
+    assert hh.are_connected(0, 14) and hh.are_connected(14, 18)
+    assert hh.are_connected(4, 15) and hh.are_connected(15, 22)
+    assert hh.are_connected(96, 109) and hh.are_connected(109, 114)
+
+
+def test_linear_chain():
+    chain = linear_chain(5)
+    assert chain.edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    assert chain.distance(0, 4) == 4
+    assert chain.shortest_path(0, 3) == [0, 1, 2, 3]
+
+
+def test_linear_section_is_a_path():
+    hh = heavy_hex_127()
+    for length in (2, 8, 16):
+        section = hh.linear_section(length)
+        assert len(section) == length
+        assert len(set(section)) == length
+        for a, b in zip(section[:-1], section[1:]):
+            assert hh.are_connected(a, b)
+
+
+def test_linear_section_bad_length():
+    with pytest.raises(BackendError):
+        linear_chain(4).linear_section(0)
+    with pytest.raises(BackendError):
+        linear_chain(4).linear_section(5)
+
+
+def test_subgraph_relabels():
+    chain = linear_chain(6)
+    sub = chain.subgraph([2, 3, 4])
+    assert sub.num_qubits == 3
+    assert sub.edges == [(0, 1), (1, 2)]
+
+
+def test_disconnected_distance_raises():
+    cmap = CouplingMap([(0, 1), (2, 3)], num_qubits=4)
+    with pytest.raises(BackendError):
+        cmap.distance(0, 3)
+
+
+def test_neighbors():
+    assert linear_chain(4).neighbors(1) == [0, 2]

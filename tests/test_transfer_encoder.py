@@ -1,0 +1,144 @@
+"""Unit tests for transfer learning and the EnQode encoder.
+
+Run at 4 qubits (16 amplitudes) with small synthetic cluster data so the
+full offline+online loop stays fast while exercising every code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EnQodeConfig, EnQodeEncoder, TransferLearner
+from repro.errors import OptimizationError
+from repro.quantum import simulate_statevector, state_fidelity
+
+
+@pytest.fixture(scope="module")
+def cluster_data():
+    """Two tight clusters of unit vectors in R^16."""
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(2, 16))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    samples = []
+    for center in centers:
+        block = center + 0.04 * rng.normal(size=(25, 16))
+        samples.append(block / np.linalg.norm(block, axis=1, keepdims=True))
+    return np.concatenate(samples)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EnQodeConfig(
+        num_qubits=4,
+        num_layers=6,
+        offline_restarts=4,
+        offline_max_iterations=600,
+        online_max_iterations=50,
+        max_clusters=8,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(segment4, cluster_data, config):
+    encoder = EnQodeEncoder(segment4, config)
+    report = encoder.fit(cluster_data)
+    return encoder, report
+
+
+def test_offline_report(fitted):
+    _, report = fitted
+    assert report.num_clusters >= 1
+    assert report.total_time > 0
+    assert report.min_nearest_fidelity > 0.9
+    assert len(report.cluster_fidelities) == report.num_clusters
+    assert 0 < report.mean_cluster_fidelity <= 1.0
+
+
+def test_encode_before_fit_rejected(segment4, config):
+    encoder = EnQodeEncoder(segment4, config)
+    with pytest.raises(OptimizationError):
+        encoder.encode(np.ones(16))
+
+
+def test_encoded_sample_fields(fitted, cluster_data):
+    encoder, _ = fitted
+    encoded = encoder.encode(cluster_data[0])
+    assert 0.0 <= encoded.ideal_fidelity <= 1.0
+    assert encoded.compile_time > 0
+    assert encoded.cluster_index >= 0
+    assert encoded.theta.shape == (encoder.ansatz.num_parameters,)
+
+
+def test_ideal_fidelity_matches_circuit_simulation(fitted, cluster_data):
+    encoder, _ = fitted
+    encoded = encoder.encode(cluster_data[3])
+    psi = simulate_statevector(encoded.circuit)
+    simulated = state_fidelity(psi, encoded.physical_target())
+    assert simulated == pytest.approx(encoded.ideal_fidelity, abs=1e-9)
+
+
+def test_fixed_circuit_shape_across_samples(fitted, cluster_data):
+    encoder, _ = fitted
+    rows = {
+        tuple(encoder.encode(x).metrics().as_row().items())
+        for x in cluster_data[:6]
+    }
+    assert len(rows) == 1  # zero variability — EnQode's core claim
+
+
+def test_transfer_beats_cold_start_iterations(fitted, cluster_data):
+    encoder, _ = fitted
+    transfer: TransferLearner = encoder._transfer
+    sample = cluster_data[7] / np.linalg.norm(cluster_data[7])
+    warm = transfer.embed(sample)
+    cold = transfer.embed_cold(sample, seed=0)
+    assert warm.result.num_iterations <= cold.result.num_iterations
+    assert warm.fidelity >= cold.fidelity - 0.05
+
+
+def test_encode_batch(fitted, cluster_data):
+    encoder, _ = fitted
+    batch = encoder.encode_batch(cluster_data[:3])
+    assert len(batch) == 3
+
+
+def test_encode_normalizes_input(fitted, cluster_data):
+    encoder, _ = fitted
+    scaled = 5.0 * cluster_data[0]
+    encoded = encoder.encode(scaled)
+    assert np.linalg.norm(encoded.target) == pytest.approx(1.0)
+
+
+def test_sample_dimension_validated(fitted):
+    encoder, _ = fitted
+    with pytest.raises(OptimizationError):
+        encoder.encode(np.ones(8))
+
+
+def test_fit_dimension_validated(segment4, config):
+    encoder = EnQodeEncoder(segment4, config)
+    with pytest.raises(OptimizationError):
+        encoder.fit(np.ones((10, 8)))
+
+
+def test_cluster_centers_accessible(fitted):
+    encoder, report = fitted
+    assert encoder.cluster_centers().shape[0] == report.num_clusters
+
+
+def test_online_fidelity_tracks_cluster_quality(fitted, cluster_data):
+    encoder, report = fitted
+    encoded = encoder.encode(cluster_data[0])
+    # Fine-tuning from the nearest cluster cannot be much worse than the
+    # cluster model itself.
+    cluster_fid = report.cluster_fidelities[encoded.cluster_index]
+    assert encoded.ideal_fidelity >= cluster_fid - 0.1
+
+
+def test_config_validation():
+    with pytest.raises(OptimizationError):
+        EnQodeConfig(num_qubits=1)
+    with pytest.raises(OptimizationError):
+        EnQodeConfig(min_cluster_fidelity=0.0)
+    with pytest.raises(OptimizationError):
+        EnQodeConfig(online_max_iterations=0)

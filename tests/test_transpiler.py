@@ -1,0 +1,91 @@
+"""Unit tests for the end-to-end transpile pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TranspilerError
+from repro.quantum import QuantumCircuit, simulate_statevector
+from repro.transpile import transpile
+from tests.conftest import random_circuit
+
+
+def _verify_equivalence(qc, backend, level, seed=None):
+    result = transpile(qc, backend, optimization_level=level, seed=seed)
+    logical = simulate_statevector(qc).data
+    physical = simulate_statevector(result.circuit).data
+    target = result.embed_target(logical)
+    assert abs(np.vdot(physical, target)) ** 2 == pytest.approx(1.0)
+    return result
+
+
+@pytest.mark.parametrize("level", [0, 1])
+def test_random_circuits_equivalent(line4, level):
+    for seed in range(5):
+        _verify_equivalence(random_circuit(4, 25, seed=seed), line4, level)
+
+
+def test_output_is_native(line4):
+    result = transpile(random_circuit(4, 30, seed=9), line4)
+    native = line4.native_gates
+    for instr in result.circuit:
+        assert native.is_native(instr.name)
+        if instr.gate.num_qubits == 2:
+            assert line4.coupling_map.are_connected(*instr.qubits)
+
+
+def test_level1_not_larger_than_level0(line4):
+    qc = random_circuit(4, 30, seed=2)
+    level0 = transpile(qc, line4, optimization_level=0)
+    level1 = transpile(qc, line4, optimization_level=1)
+    assert (
+        level1.metrics().total_gates <= level0.metrics().total_gates
+    )
+
+
+def test_invalid_level_rejected(line4):
+    with pytest.raises(TranspilerError):
+        transpile(QuantumCircuit(2).h(0), line4, optimization_level=3)
+
+
+def test_circuit_too_large_rejected(line4):
+    with pytest.raises(TranspilerError):
+        transpile(QuantumCircuit(5).h(0), line4)
+
+
+def test_smaller_circuit_padded_onto_device(line4):
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    result = transpile(qc, line4)
+    assert result.circuit.num_qubits == 4
+    logical = simulate_statevector(qc).data
+    physical = simulate_statevector(result.circuit).data
+    assert abs(np.vdot(physical, result.embed_target(logical))) ** 2 == (
+        pytest.approx(1.0)
+    )
+
+
+def test_embed_target_shape_check(line4):
+    result = transpile(QuantumCircuit(2).h(0), line4)
+    with pytest.raises(TranspilerError):
+        result.embed_target(np.ones(8) / np.sqrt(8))
+
+
+def test_seed_changes_routing(segment8):
+    qc = QuantumCircuit(8)
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        a, b = rng.choice(8, size=2, replace=False)
+        qc.cx(int(a), int(b))
+    depths = {
+        transpile(qc, segment8, seed=s).metrics().depth for s in range(8)
+    }
+    assert len(depths) > 1
+    for s in (3, 4):
+        _verify_equivalence(qc, segment8, 1, seed=s)
+
+
+def test_metrics_exclude_virtual(line4):
+    qc = QuantumCircuit(2).rz(0.5, 0).rz(0.2, 1).cx(0, 1)
+    metrics = transpile(qc, line4).metrics()
+    # All 1q content is virtual rz; only the entangler chain is physical.
+    assert metrics.two_qubit_gates >= 1
+    assert "rz" not in metrics.counts

@@ -1,0 +1,66 @@
+"""Unit tests for shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, allclose_up_to_global_phase, as_rng
+from repro.utils.linalg import global_phase_between, is_unitary, normalize_vector
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_as_rng_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_rng(rng) is rng
+
+
+def test_as_rng_seeded_deterministic():
+    assert as_rng(5).integers(1000) == as_rng(5).integers(1000)
+
+
+def test_is_unitary():
+    assert is_unitary(np.eye(4))
+    assert not is_unitary(np.ones((2, 2)))
+    assert not is_unitary(np.ones((2, 3)))
+
+
+def test_global_phase_between():
+    a = np.array([1.0, 1j]) / np.sqrt(2)
+    z = global_phase_between(np.exp(0.3j) * a, a)
+    assert z == pytest.approx(np.exp(0.3j))
+    assert global_phase_between(np.array([1.0, 0.0]), np.array([0.0, 1.0])) is None
+
+
+def test_allclose_up_to_global_phase():
+    a = np.array([[1, 0], [0, 1j]])
+    assert allclose_up_to_global_phase(-1j * a, a)
+    assert not allclose_up_to_global_phase(a, np.eye(2))
+
+
+def test_allclose_up_to_global_phase_shape_mismatch():
+    assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+
+def test_normalize_vector():
+    assert np.allclose(normalize_vector([3.0, 4.0]), [0.6, 0.8])
+    with pytest.raises(ValueError):
+        normalize_vector([0.0, 0.0])
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        CircuitError,
+        ClusteringError,
+        ReproError,
+        TranspilerError,
+    )
+
+    assert issubclass(CircuitError, ReproError)
+    assert issubclass(TranspilerError, ReproError)
+    assert issubclass(ClusteringError, ReproError)

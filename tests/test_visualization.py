@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.quantum import QuantumCircuit
+from repro.quantum.visualization import draw, summary
+
+
+def test_draw_single_qubit_gates():
+    art = draw(QuantumCircuit(1).h(0).rz(0.5, 0))
+    assert "q0:" in art
+    assert "[h]" in art
+    assert "[rz(0.50)]" in art
+
+
+def test_draw_two_qubit_gate_with_link():
+    art = draw(QuantumCircuit(2).cx(0, 1))
+    lines = art.splitlines()
+    assert "●" in lines[0]
+    assert "[cx]" in lines[-1]
+    assert any("│" in line for line in lines)
+
+
+def test_draw_parallel_gates_share_column():
+    serial = draw(QuantumCircuit(2).h(0).h(0))
+    parallel = draw(QuantumCircuit(2).h(0).h(1))
+    assert len(parallel.splitlines()[0]) < len(serial.splitlines()[0])
+
+
+def test_draw_wraps_long_circuits():
+    qc = QuantumCircuit(1)
+    for _ in range(60):
+        qc.h(0)
+    art = draw(qc, max_width=40)
+    assert "…" in art
+
+
+def test_draw_every_row_labelled():
+    art = draw(QuantumCircuit(3).h(0).cx(0, 2).x(1))
+    for q in range(3):
+        assert f"q{q}: " in art
+
+
+def test_draw_enqode_ansatz_smoke():
+    import numpy as np
+
+    from repro.core import EnQodeAnsatz
+
+    ansatz = EnQodeAnsatz(4, 2)
+    art = draw(ansatz.circuit(np.zeros(8)))
+    assert "[cy]" in art
+    assert "[rx(-1.57)]" in art
+
+
+def test_summary_line():
+    text = summary(QuantumCircuit(2).h(0).rz(0.1, 0).cx(0, 1))
+    assert "2 qubits" in text
+    assert "cx x1" in text
+    assert "physical" in text
