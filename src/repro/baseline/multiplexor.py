@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import StatePreparationError
 from repro.quantum.circuit import QuantumCircuit
+from repro.utils.linalg import popcount
 
 
 def gray_code(index: int) -> int:
@@ -56,12 +57,8 @@ def multiplexed_angles(alpha: np.ndarray) -> np.ndarray:
 
 
 def _popcount_array(values: np.ndarray) -> np.ndarray:
-    counts = np.zeros_like(values)
-    values = values.copy()
-    while np.any(values):
-        counts += values & 1
-        values >>= 1
-    return counts
+    """Vectorized per-element popcount (see :func:`repro.utils.linalg.popcount`)."""
+    return popcount(values)
 
 
 def append_multiplexed_rotation(

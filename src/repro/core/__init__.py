@@ -1,11 +1,17 @@
 """EnQode core: ansatz, symbolic engine, optimizer, clustering, encoder."""
 
 from repro.core.ansatz import SYMBOLIC_ENTANGLERS, EnQodeAnsatz
+from repro.core.batch import (
+    BatchFidelityObjective,
+    BatchLBFGSOptimizer,
+    BatchOptimizationResult,
+)
 from repro.core.clustering import (
     KMeans,
     dot_fidelity,
     min_nearest_fidelity,
     nearest_center,
+    nearest_centers,
     select_num_clusters,
 )
 from repro.core.config import EnQodeConfig
@@ -29,6 +35,9 @@ from repro.core.transfer import TransferLearner, TransferOutcome
 
 __all__ = [
     "SYMBOLIC_ENTANGLERS",
+    "BatchFidelityObjective",
+    "BatchLBFGSOptimizer",
+    "BatchOptimizationResult",
     "ClusterModel",
     "EnQodeAnsatz",
     "EnQodeConfig",
@@ -50,6 +59,7 @@ __all__ = [
     "load_encoder",
     "min_nearest_fidelity",
     "nearest_center",
+    "nearest_centers",
     "save_encoder",
     "select_num_clusters",
 ]

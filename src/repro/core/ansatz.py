@@ -128,12 +128,36 @@ class EnQodeAnsatz:
             raise OptimizationError(
                 f"expected {self.num_parameters} parameters, got {theta.size}"
             )
+        return self._build(lambda j: gate("rz", float(theta[j])))
+
+    def parametric_circuit(self) -> "tuple[QuantumCircuit, dict[int, int]]":
+        """The ansatz skeleton with *marker* Rz gates for templating.
+
+        Returns ``(circuit, markers)`` where every trainable Rz is a fresh
+        ``Gate`` object (angle 0) and ``markers`` maps ``id(gate_obj)`` to
+        its flat parameter index.  The structural transpile passes never
+        inspect Rz matrices and append gate objects unchanged, so the
+        markers survive lowering and routing — this is what lets
+        :class:`repro.transpile.template.ParametricTemplate` locate each
+        parameter slot in the fully routed circuit.
+        """
+        markers: dict[int, int] = {}
+
+        def marker_rz(j: int):
+            rz = gate("rz", 0.0)
+            markers[id(rz)] = j
+            return rz
+
+        return self._build(marker_rz), markers
+
+    def _build(self, rz_gate) -> QuantumCircuit:
+        """Assemble the fixed ansatz shape, delegating Rz creation."""
         qc = QuantumCircuit(self.num_qubits, name="enqode_ansatz")
         for q in range(self.num_qubits):
             qc.rx(-_HALF_PI, q)
         for layer in range(self.num_layers):
             for q in range(self.num_qubits):
-                qc.rz(float(theta[self.parameter_index(layer, q)]), q)
+                qc.append(rz_gate(self.parameter_index(layer, q)), (q,))
             for control, target in self.entangling_pairs(layer):
                 if self.entangler == "cry":
                     qc.cry(math.pi, control, target)
@@ -159,6 +183,22 @@ class EnQodeAnsatz:
         v_dag = self.closing_matrix_1q().conj().T
         return _apply_local(state, v_dag, self.num_qubits)
 
+    def apply_closing_layer_batch(self, states: np.ndarray) -> np.ndarray:
+        """Apply ``V`` to a ``(B, 2^n)`` batch of states in one pass."""
+        return _apply_local_batch(
+            states, self.closing_matrix_1q(), self.num_qubits
+        )
+
+    def apply_closing_layer_adjoint_batch(self, states: np.ndarray) -> np.ndarray:
+        """Apply ``V^dagger`` to a ``(B, 2^n)`` batch of states in one pass.
+
+        The batched objective uses this to pull all targets back through
+        the closing layer with ``n`` tensordots total instead of ``n`` per
+        sample.
+        """
+        v_dag = self.closing_matrix_1q().conj().T
+        return _apply_local_batch(states, v_dag, self.num_qubits)
+
     def __repr__(self) -> str:
         return (
             f"EnQodeAnsatz(qubits={self.num_qubits}, layers={self.num_layers}, "
@@ -174,3 +214,18 @@ def _apply_local(state: np.ndarray, matrix_1q: np.ndarray, num_qubits: int):
             np.tensordot(matrix_1q, tensor, axes=([1], [q])), 0, q
         )
     return tensor.reshape(-1)
+
+
+def _apply_local_batch(
+    states: np.ndarray, matrix_1q: np.ndarray, num_qubits: int
+):
+    """Apply the same 1q matrix to every qubit of a ``(B, 2^n)`` batch."""
+    states = np.atleast_2d(np.asarray(states, dtype=complex))
+    batch = states.shape[0]
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    for q in range(num_qubits):
+        axis = 1 + q  # axis 0 is the batch dimension
+        tensor = np.moveaxis(
+            np.tensordot(matrix_1q, tensor, axes=([1], [axis])), 0, axis
+        )
+    return tensor.reshape(batch, -1)

@@ -1,0 +1,286 @@
+"""Batched fidelity objective and optimizer (the online fast path).
+
+EnQode's online stage solves one small, smooth, warm-started problem per
+sample — and every problem shares the same ``P/2`` phase matrix and
+``i^k`` factors, because every sample uses the same fixed-shape ansatz.
+This module exploits that structure end to end:
+
+* :class:`BatchFidelityObjective` evaluates loss and exact gradient for
+  ``B`` targets in one BLAS pass: the per-sample ``terms`` vector becomes
+  a ``(B, 2^n)`` matrix multiplied against the shared ``(2^n, l)`` half
+  phase matrix, so the per-iteration cost is two matrix products instead
+  of ``B`` Python-level objective calls.
+* :class:`BatchLBFGSOptimizer` drives all samples concurrently with one
+  **stacked** scipy L-BFGS run over the block-diagonal objective (the sum
+  of per-sample losses; its gradient is the concatenation of per-sample
+  gradients).  The stationary points of the stacked problem are exactly
+  the per-sample optima.  ``ftol`` is tightened by ``1/B`` so the
+  sum-scale stopping rule matches the per-sample rule, and any sample
+  whose own gradient still exceeds ``gtol`` afterwards gets an
+  individual warm-started polish run (per-sample convergence masking) —
+  which is why batched results match the sequential path to ~1e-12 in
+  fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.core.ansatz import EnQodeAnsatz
+from repro.core.symbolic import SymbolicState
+from repro.errors import OptimizationError
+from repro.utils.timing import Timer
+
+
+class BatchFidelityObjective:
+    """Loss ``1 - F`` and exact gradients for ``B`` targets at once.
+
+    The math is :class:`repro.core.objective.FidelityObjective` row-wise:
+    with ``C[b] = conj(V^dagger x_b) * i^k / sqrt(2^n)`` precomputed for
+    every target (one batched closing-layer pull-back), the overlaps for
+    parameter matrix ``theta`` of shape ``(B, l)`` are
+
+        S_b = sum_r C[b, r] * exp(i * (P @ theta_b)_r / 2)
+
+    and both phases and derivative contractions are single ``(B, 2^n) @
+    (2^n, l)`` products against the shared cached ``P/2``.
+    """
+
+    def __init__(
+        self,
+        symbolic: SymbolicState,
+        ansatz: EnQodeAnsatz,
+        targets: np.ndarray,
+    ) -> None:
+        targets = np.atleast_2d(np.asarray(targets, dtype=complex))
+        dim = 2**symbolic.num_qubits
+        if targets.ndim != 2 or targets.shape[1] != dim:
+            raise OptimizationError(
+                f"targets must be (B, {dim}), got {targets.shape}"
+            )
+        if not np.all(np.isfinite(targets)):
+            raise OptimizationError("targets contain non-finite entries")
+        norms = np.linalg.norm(targets, axis=1)
+        if np.any(norms < 1e-12):
+            raise OptimizationError("cannot embed the zero vector")
+        targets = targets / norms[:, None]
+        self.symbolic = symbolic
+        self.ansatz = ansatz
+        self.targets = targets
+        # Pull all targets back through the closing layer in one pass.
+        y = ansatz.apply_closing_layer_adjoint_batch(targets)
+        self._coeff = np.conj(y) * symbolic.phase_factors / np.sqrt(dim)
+        self._half_p = symbolic.half_phase_matrix
+
+    @property
+    def batch_size(self) -> int:
+        return self._coeff.shape[0]
+
+    @property
+    def num_parameters(self) -> int:
+        return self._half_p.shape[1]
+
+    # -- evaluations -------------------------------------------------------------
+
+    def overlaps(self, thetas: np.ndarray) -> np.ndarray:
+        """Complex overlaps ``<x_b| V |psi(theta_b)>`` for all rows."""
+        thetas = self._as_matrix(thetas)
+        phases = thetas @ self._half_p.T
+        return np.sum(self._coeff * np.exp(1j * phases), axis=1)
+
+    def fidelities(self, thetas: np.ndarray) -> np.ndarray:
+        return np.abs(self.overlaps(thetas)) ** 2
+
+    def value_and_grad(
+        self, thetas: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample losses ``(B,)`` and gradients ``(B, l)`` in one pass."""
+        thetas = self._as_matrix(thetas)
+        phases = thetas @ self._half_p.T
+        terms = self._coeff * np.exp(1j * phases)
+        overlaps = terms.sum(axis=1)
+        d_overlaps = 1j * (terms @ self._half_p)
+        grad_fidelity = 2.0 * np.real(np.conj(overlaps)[:, None] * d_overlaps)
+        losses = 1.0 - np.abs(overlaps) ** 2
+        return losses, -grad_fidelity
+
+    def stacked_value_and_grad(
+        self, flat_theta: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Block-diagonal view for scipy: total loss + concatenated grad."""
+        thetas = np.asarray(flat_theta, dtype=float).reshape(
+            self.batch_size, self.num_parameters
+        )
+        losses, grads = self.value_and_grad(thetas)
+        return float(losses.sum()), grads.ravel()
+
+    def single_value_and_grad(self, index: int):
+        """A per-sample closure (used by the convergence polish step)."""
+        coeff = self._coeff[index]
+        half_p = self._half_p
+
+        def value_and_grad(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            phases = half_p @ np.asarray(theta, dtype=float)
+            terms = coeff * np.exp(1j * phases)
+            overlap = terms.sum()
+            d_overlap = 1j * (terms @ half_p)
+            grad_fidelity = 2.0 * np.real(np.conj(overlap) * d_overlap)
+            return 1.0 - float(abs(overlap) ** 2), -grad_fidelity
+
+        return value_and_grad
+
+    def embedded_states(self, thetas: np.ndarray) -> np.ndarray:
+        """The embedded statevectors ``V |psi(theta_b)>`` as ``(B, 2^n)``."""
+        thetas = self._as_matrix(thetas)
+        phases = thetas @ self._half_p.T
+        dim = 2**self.symbolic.num_qubits
+        psi = self.symbolic.phase_factors * np.exp(1j * phases) / np.sqrt(dim)
+        return self.ansatz.apply_closing_layer_batch(psi)
+
+    def _as_matrix(self, thetas: np.ndarray) -> np.ndarray:
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if thetas.shape != (self.batch_size, self.num_parameters):
+            raise OptimizationError(
+                f"thetas must be ({self.batch_size}, {self.num_parameters}), "
+                f"got {thetas.shape}"
+            )
+        return thetas
+
+
+@dataclass
+class BatchOptimizationResult:
+    """Outcome of one batched (stacked + polished) optimization."""
+
+    thetas: np.ndarray
+    fidelities: np.ndarray
+    losses: np.ndarray
+    num_iterations: int
+    num_evaluations: int
+    time: float
+    converged: np.ndarray
+    stacked_iterations: int = 0
+    polish_runs: int = 0
+    polish_iterations: np.ndarray = field(default=None)
+
+    @property
+    def batch_size(self) -> int:
+        return self.thetas.shape[0]
+
+    def per_sample_iterations(self, index: int) -> int:
+        """Iterations attributable to one sample.
+
+        Each stacked iteration advances every sample once (the per-sample
+        analogue of one L-BFGS step), plus the sample's own polish steps
+        — comparable to the sequential path's ``num_iterations``, unlike
+        :attr:`num_iterations` which totals the whole batch.
+        """
+        polish = (
+            int(self.polish_iterations[index])
+            if self.polish_iterations is not None
+            else 0
+        )
+        return self.stacked_iterations + polish
+
+
+class BatchLBFGSOptimizer:
+    """Warm-started stacked L-BFGS over a :class:`BatchFidelityObjective`.
+
+    Parameters mirror :class:`repro.core.optimizer.LBFGSOptimizer` in
+    warm-start mode (one run, no restarts).  ``gtol`` applies per
+    gradient component, so the stacked stopping rule is the same test the
+    per-sample runs use; ``ftol`` is divided by the batch size because
+    scipy's relative-decrease rule sees the *sum* of losses.  Samples
+    left above ``polish_threshold`` by the stacked run (early ``ftol``
+    exit or a hard sample dominating the line search) are individually
+    re-polished from their stacked solution.
+
+    ``polish_threshold`` trades wasted scipy calls against guaranteed
+    convergence depth: a sample whose gradient inf-norm is ``g`` sits
+    within ``~g^2 / curvature`` of its optimal fidelity, so at the
+    default ``1e-7`` the residual fidelity error is far below the 1e-9
+    equivalence budget while near-converged samples (the common case —
+    warm starts land in the basin) skip the per-sample scipy overhead.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 80,
+        gtol: float = 1e-9,
+        ftol: float = 1e-12,
+        polish_threshold: float = 1e-7,
+    ) -> None:
+        if max_iterations < 1:
+            raise OptimizationError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+        self.gtol = gtol
+        self.ftol = ftol
+        self.polish_threshold = polish_threshold
+
+    def optimize(
+        self,
+        objective: BatchFidelityObjective,
+        theta0: np.ndarray,
+    ) -> BatchOptimizationResult:
+        theta0 = np.asarray(theta0, dtype=float)
+        batch = objective.batch_size
+        num_params = objective.num_parameters
+        if theta0.shape != (batch, num_params):
+            raise OptimizationError(
+                f"theta0 must be ({batch}, {num_params}), got {theta0.shape}"
+            )
+        with Timer() as timer:
+            stacked = minimize(
+                objective.stacked_value_and_grad,
+                theta0.ravel(),
+                jac=True,
+                method="L-BFGS-B",
+                options={
+                    "maxiter": self.max_iterations,
+                    "gtol": self.gtol,
+                    "ftol": self.ftol / max(batch, 1),
+                },
+            )
+            thetas = np.asarray(stacked.x, dtype=float).reshape(
+                batch, num_params
+            )
+            total_evals = int(stacked.nfev)
+            # Per-sample convergence mask + individual polish for stragglers.
+            _, grads = objective.value_and_grad(thetas)
+            grad_norms = np.abs(grads).max(axis=1)
+            converged = np.full(batch, bool(stacked.success))
+            polish_iterations = np.zeros(batch, dtype=int)
+            polish_runs = 0
+            trigger = max(self.gtol, self.polish_threshold)
+            for b in np.flatnonzero(grad_norms > trigger):
+                single = minimize(
+                    objective.single_value_and_grad(int(b)),
+                    thetas[b],
+                    jac=True,
+                    method="L-BFGS-B",
+                    options={
+                        "maxiter": self.max_iterations,
+                        "gtol": self.gtol,
+                        "ftol": self.ftol,
+                    },
+                )
+                thetas[b] = single.x
+                converged[b] = bool(single.success)
+                polish_iterations[b] = int(single.nit)
+                total_evals += int(single.nfev)
+                polish_runs += 1
+            losses, _ = objective.value_and_grad(thetas)
+        return BatchOptimizationResult(
+            thetas=thetas,
+            fidelities=1.0 - losses,
+            losses=losses,
+            num_iterations=int(stacked.nit) + int(polish_iterations.sum()),
+            num_evaluations=total_evals,
+            time=timer.elapsed,
+            converged=converged,
+            stacked_iterations=int(stacked.nit),
+            polish_runs=polish_runs,
+            polish_iterations=polish_iterations,
+        )

@@ -144,9 +144,27 @@ def nearest_center(
 ) -> tuple[int, float]:
     """Index of and Euclidean distance to the closest center (Sec. III-D)."""
     sample = np.asarray(sample, dtype=float).ravel()
-    distances = np.linalg.norm(centers - sample[None, :], axis=1)
-    index = int(np.argmin(distances))
-    return index, float(distances[index])
+    indices, distances = nearest_centers(sample[None, :], centers)
+    return int(indices[0]), float(distances[0])
+
+
+def nearest_centers(
+    samples: np.ndarray, centers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`nearest_center` over a ``(B, d)`` sample matrix.
+
+    Returns ``(indices, distances)`` of shapes ``(B,)``.  Computed with
+    the same differences-then-norm arithmetic as the scalar version so
+    batch and per-sample cluster assignments agree exactly (the expanded
+    ``|a|^2 - 2ab + |b|^2`` form can flip ties).
+    """
+    samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    centers = np.asarray(centers, dtype=float)
+    distances = np.linalg.norm(
+        samples[:, None, :] - centers[None, :, :], axis=2
+    )
+    indices = np.argmin(distances, axis=1)
+    return indices, distances[np.arange(samples.shape[0]), indices]
 
 
 def min_nearest_fidelity(data: np.ndarray, centers: np.ndarray) -> float:

@@ -46,11 +46,12 @@ class FidelityObjective:
         self.target = target
         # Pull the target back through the closing layer once.
         y = ansatz.apply_closing_layer_adjoint(target)
-        k_factor = 1j ** symbolic.k_pow
         # Per-basis-state constant: conj(y_r) * i^{k_r} / sqrt(2^n).
-        self._coeff = np.conj(y) * k_factor / np.sqrt(dim)
-        # P/2 enters every phase and derivative.
-        self._half_p = symbolic.phase_matrix.astype(float) / 2.0
+        self._coeff = np.conj(y) * symbolic.phase_factors / np.sqrt(dim)
+        # P/2 enters every phase and derivative; shared (cached) with every
+        # other objective built on the same SymbolicState, so constructing
+        # one objective per sample allocates nothing of size (2^n, l).
+        self._half_p = symbolic.half_phase_matrix
 
     # -- evaluations -------------------------------------------------------------
 

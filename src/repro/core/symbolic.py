@@ -21,10 +21,13 @@ and Jacobians for the optimizer (Sec. III-B).
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import numpy as np
 
 from repro.core.ansatz import EnQodeAnsatz
 from repro.errors import OptimizationError
+from repro.utils.linalg import popcount
 
 
 class SymbolicState:
@@ -47,6 +50,28 @@ class SymbolicState:
         self.num_qubits = num_qubits
         self.k_pow = k_pow
         self.phase_matrix = phase_matrix
+
+    # -- cached derived arrays ----------------------------------------------------
+    #
+    # Every per-sample FidelityObjective needs P/2 as a float matrix and the
+    # i^k phase factors.  Computing them here once (instead of inside each
+    # objective constructor) makes per-sample objective construction
+    # allocation-free — the batch encoder builds thousands of objectives
+    # against one SymbolicState.
+
+    @cached_property
+    def half_phase_matrix(self) -> np.ndarray:
+        """``P/2`` as a read-only float array (shared, computed once)."""
+        half = self.phase_matrix.astype(float) / 2.0
+        half.setflags(write=False)
+        return half
+
+    @cached_property
+    def phase_factors(self) -> np.ndarray:
+        """``i ** k_pow`` as a read-only complex array (shared)."""
+        factors = 1j ** self.k_pow
+        factors.setflags(write=False)
+        return factors
 
     # -- construction -----------------------------------------------------------
 
@@ -82,9 +107,12 @@ class SymbolicState:
                 f"expected {self.phase_matrix.shape[1]} parameters, "
                 f"got {theta.size}"
             )
-        phases = self.phase_matrix @ theta / 2.0
-        k_factor = 1j ** self.k_pow
-        return k_factor * np.exp(1j * phases) / np.sqrt(2**self.num_qubits)
+        phases = self.half_phase_matrix @ theta
+        return (
+            self.phase_factors
+            * np.exp(1j * phases)
+            / np.sqrt(2**self.num_qubits)
+        )
 
     def embedded_amplitudes(
         self, theta: np.ndarray, ansatz: EnQodeAnsatz
@@ -100,12 +128,8 @@ class SymbolicState:
 
 
 def _popcount(values: np.ndarray) -> np.ndarray:
-    counts = np.zeros_like(values)
-    work = values.copy()
-    while np.any(work):
-        counts += work & 1
-        work >>= 1
-    return counts
+    """Vectorized per-element popcount (see :func:`repro.utils.linalg.popcount`)."""
+    return popcount(values)
 
 
 def _apply_entangler(

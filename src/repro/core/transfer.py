@@ -5,6 +5,13 @@ centroids); that cluster's trained parameters initialize a short L-BFGS
 fine-tune of the sample's own embedding.  Because the initialization is
 already close, the online step is fast and its latency is uniform — the
 property Fig. 9(a) measures.
+
+Two entry points: :meth:`TransferLearner.embed` fine-tunes one sample,
+:meth:`TransferLearner.embed_batch` fine-tunes a whole sample matrix
+concurrently — vectorized nearest-center matching, one
+:class:`~repro.core.batch.BatchFidelityObjective`, and a single stacked
+L-BFGS drive (see :mod:`repro.core.batch`) that returns the same
+fidelities as the per-sample loop at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ansatz import EnQodeAnsatz
-from repro.core.clustering import nearest_center
+from repro.core.batch import BatchFidelityObjective, BatchLBFGSOptimizer
+from repro.core.clustering import nearest_center, nearest_centers
 from repro.core.objective import FidelityObjective
 from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
 from repro.core.symbolic import SymbolicState
@@ -78,6 +86,50 @@ class TransferLearner:
         return TransferOutcome(
             cluster_index=index, cluster_distance=distance, result=result
         )
+
+    def embed_batch(self, samples: np.ndarray) -> list[TransferOutcome]:
+        """Warm-start and fine-tune a ``(B, 2^n)`` sample matrix at once.
+
+        Matches every row to its nearest cluster in one vectorized pass,
+        then drives all fine-tunes concurrently through the stacked
+        batched optimizer.  Returns one :class:`TransferOutcome` per row,
+        in input order.  Each outcome's ``num_iterations`` is the
+        per-sample attribution (stacked steps + that sample's polish
+        steps — comparable to a sequential run); evaluation counts and
+        wall time are batch totals divided evenly.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if samples.shape[0] == 0:
+            return []
+        indices, distances = nearest_centers(samples, self.centers)
+        objective = BatchFidelityObjective(self.symbolic, self.ansatz, samples)
+        optimizer = BatchLBFGSOptimizer(
+            max_iterations=self._optimizer.max_iterations,
+            gtol=self._optimizer.gtol,
+            ftol=self._optimizer.ftol,
+        )
+        batch = optimizer.optimize(objective, self.cluster_thetas[indices])
+        outcomes = []
+        for b in range(batch.batch_size):
+            result = OptimizationResult(
+                theta=batch.thetas[b],
+                fidelity=float(batch.fidelities[b]),
+                loss=float(batch.losses[b]),
+                num_iterations=batch.per_sample_iterations(b),
+                num_evaluations=batch.num_evaluations,
+                time=batch.time / batch.batch_size,
+                converged=bool(batch.converged[b]),
+                restarts_used=1,
+                history=[float(batch.fidelities[b])],
+            )
+            outcomes.append(
+                TransferOutcome(
+                    cluster_index=int(indices[b]),
+                    cluster_distance=float(distances[b]),
+                    result=result,
+                )
+            )
+        return outcomes
 
     def embed_cold(self, sample: np.ndarray, seed: int = 0) -> TransferOutcome:
         """Ablation A5 contrast: same iteration budget, random init."""

@@ -69,9 +69,39 @@ class Gate:
         mat.setflags(write=False)
         self._matrix = mat
 
+    @classmethod
+    def trusted(
+        cls,
+        name: str,
+        num_qubits: int,
+        params: tuple[float, ...],
+        matrix: "np.ndarray | None" = None,
+    ) -> "Gate":
+        """Construct a gate skipping validation (hot-loop fast path).
+
+        The caller guarantees ``matrix`` is a fresh complex ndarray of the
+        right shape and ``params`` a tuple of floats.  ``matrix=None``
+        defers the matrix until first access (``name`` must then be a
+        registry gate) — most gates a batch encode emits are never
+        simulated, so skipping their matrix construction is free
+        throughput.  Used by the parametric transpile template, which
+        emits thousands of rz/sx/x gates per batch and owns their
+        construction end to end.
+        """
+        gate_obj = object.__new__(cls)
+        gate_obj.name = name
+        gate_obj.num_qubits = num_qubits
+        gate_obj.params = params
+        if matrix is not None:
+            matrix.setflags(write=False)
+        gate_obj._matrix = matrix
+        return gate_obj
+
     @property
     def matrix(self) -> np.ndarray:
-        """The gate unitary (read-only view)."""
+        """The gate unitary (read-only view; lazily built if deferred)."""
+        if self._matrix is None:
+            self._matrix = gate(self.name, *self.params)._matrix
         return self._matrix
 
     @property

@@ -27,6 +27,18 @@ class Instruction:
         self.gate = gate
         self.qubits = qubits
 
+    @classmethod
+    def trusted(cls, gate: Gate, qubits: tuple[int, ...]) -> "Instruction":
+        """Construct skipping validation (the template bind hot loop).
+
+        The caller guarantees ``qubits`` is a well-formed tuple of ints
+        matching the gate's arity.
+        """
+        instr = object.__new__(cls)
+        instr.gate = gate
+        instr.qubits = qubits
+        return instr
+
     @property
     def name(self) -> str:
         return self.gate.name

@@ -15,12 +15,21 @@ from repro.transpile.passes import (
     translate_1q,
 )
 from repro.transpile.routing import RoutingResult, route
+from repro.transpile.template import (
+    GLOBAL_TEMPLATE_CACHE,
+    ParametricTemplate,
+    TemplateCache,
+    transpile_template,
+)
 from repro.transpile.transpiler import TranspileResult, transpile
 
 __all__ = [
     "CircuitMetrics",
+    "GLOBAL_TEMPLATE_CACHE",
     "Layout",
+    "ParametricTemplate",
     "RoutingResult",
+    "TemplateCache",
     "TranspileResult",
     "cancel_adjacent_cx",
     "circuit_metrics",
@@ -34,5 +43,6 @@ __all__ = [
     "synthesize_1q",
     "translate_1q",
     "transpile",
+    "transpile_template",
     "zyz_decompose",
 ]

@@ -29,30 +29,46 @@ TWO_PI = 2.0 * math.pi
 NativeOp = tuple[str, tuple[float, ...]]
 
 
+def _zyz_angles(matrix: np.ndarray) -> tuple[float, float, float]:
+    """The ``(theta, phi, lam)`` ZYZ Euler angles of a 2x2 unitary.
+
+    Shared by :func:`zyz_decompose` (which additionally recovers the
+    global phase) and :func:`synthesize_1q` (which does not need it —
+    skipping the reconstruction roughly halves the cost of the template
+    bind hot loop).  Works on plain Python complex scalars.
+    """
+    u = np.asarray(matrix, dtype=complex)
+    if u.shape != (2, 2):
+        raise TranspilerError(f"expected a 2x2 matrix, got shape {u.shape}")
+    u00, u01 = complex(u[0, 0]), complex(u[0, 1])
+    u10, u11 = complex(u[1, 0]), complex(u[1, 1])
+    det = u00 * u11 - u01 * u10
+    if abs(abs(det) - 1.0) > 1e-6:
+        raise TranspilerError("matrix is not unitary (|det| != 1)")
+    # Project into SU(2).
+    root = cmath.sqrt(det)
+    su00, su10, su11 = u00 / root, u10 / root, u11 / root
+    theta = 2.0 * math.atan2(abs(su10), abs(su00))
+    if abs(su00) > 1e-9 and abs(su10) > 1e-9:
+        phi_plus_lam = 2.0 * cmath.phase(su11)
+        phi_minus_lam = 2.0 * cmath.phase(su10)
+        phi = 0.5 * (phi_plus_lam + phi_minus_lam)
+        lam = 0.5 * (phi_plus_lam - phi_minus_lam)
+    elif abs(su10) <= 1e-9:  # theta ~ 0: only phi+lam is defined
+        phi = 2.0 * cmath.phase(su11)
+        lam = 0.0
+    else:  # theta ~ pi: only phi-lam is defined
+        phi = 2.0 * cmath.phase(su10)
+        lam = 0.0
+    return theta, phi, lam
+
+
 def zyz_decompose(matrix: np.ndarray) -> tuple[float, float, float, float]:
     """Return ``(theta, phi, lam, phase)`` with
     ``U = exp(i*phase) * Rz(phi) @ Ry(theta) @ Rz(lam)`` and theta in [0, pi].
     """
     u = np.asarray(matrix, dtype=complex)
-    if u.shape != (2, 2):
-        raise TranspilerError(f"expected a 2x2 matrix, got shape {u.shape}")
-    det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
-    if abs(abs(det) - 1.0) > 1e-6:
-        raise TranspilerError("matrix is not unitary (|det| != 1)")
-    # Project into SU(2).
-    su = u / cmath.sqrt(det)
-    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
-    if abs(su[0, 0]) > 1e-9 and abs(su[1, 0]) > 1e-9:
-        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
-        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
-        phi = 0.5 * (phi_plus_lam + phi_minus_lam)
-        lam = 0.5 * (phi_plus_lam - phi_minus_lam)
-    elif abs(su[1, 0]) <= 1e-9:  # theta ~ 0: only phi+lam is defined
-        phi = 2.0 * cmath.phase(su[1, 1])
-        lam = 0.0
-    else:  # theta ~ pi: only phi-lam is defined
-        phi = 2.0 * cmath.phase(su[1, 0])
-        lam = 0.0
+    theta, phi, lam = _zyz_angles(u)
     # Recover the global phase by comparing one reliable entry.
     rec = _zyz_matrix(theta, phi, lam)
     idx = np.unravel_index(int(np.argmax(np.abs(rec))), rec.shape)
@@ -91,12 +107,13 @@ def _is_zero_angle(angle: float, atol: float) -> bool:
 def synthesize_1q(matrix: np.ndarray, atol: float = 1e-9) -> list[NativeOp]:
     """Minimal {rz, sx, x} sequence (circuit order) implementing ``matrix``
     up to global phase."""
-    theta, phi, lam, _ = zyz_decompose(matrix)
+    theta, phi, lam = _zyz_angles(matrix)
     ops: list[NativeOp] = []
 
     def rz(angle: float) -> None:
-        if not _is_zero_angle(angle, atol):
-            ops.append(("rz", (_wrap_angle(angle),)))
+        wrapped = _wrap_angle(angle)
+        if abs(wrapped) > atol:
+            ops.append(("rz", (wrapped,)))
 
     if _is_zero_angle(theta, atol):
         rz(phi + lam)

@@ -1,0 +1,445 @@
+"""Parametric transpile templates: compile the ansatz once, bind per sample.
+
+EnQode's online path produces one circuit per sample, but every circuit in
+a run shares a single **fixed shape** (identical gate structure — the
+paper's Sec. III-A invariant behind the Fig. 9(a) millisecond-latency
+claim).  Re-running the full transpile pipeline per sample therefore
+re-derives the same decompositions, CX cancellations, routing, and SWAP
+expansions over and over; only the ``Rz`` angles change.
+
+:class:`ParametricTemplate` runs the *structural* pipeline stages exactly
+once per ``(ansatz, backend, optimization_level)`` and compiles the final
+one-qubit lowering stage into a small "bind program".  Per-sample
+transpilation then reduces to :meth:`ParametricTemplate.bind`: substitute
+the sample's angles into the program and re-synthesize only the one-qubit
+runs that contain a parameter (a handful of 2x2 products and ZYZ
+decompositions).  The bound circuit is **instruction-for-instruction
+identical** to what :func:`repro.transpile.transpiler.transpile` would
+produce for the same angles — this is asserted against a reference
+transpile when the template is built.
+
+Why this is exact: the structural passes (:func:`decompose_to_cx`,
+:func:`cancel_adjacent_cx`, :func:`route`, :func:`expand_cx`) never
+inspect one-qubit gate *matrices* — they match on names and arities and
+append gate objects unchanged — so their output is the same for every
+angle assignment.  Only ``merge_1q_runs``/``resynthesize_1q`` (and
+``translate_1q`` at level 0) look at the numbers, and those are precisely
+the steps the bind program replays.
+
+:class:`TemplateCache` memoizes templates; :func:`transpile_template` is
+the module-level entry point used by the batch encoder.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.errors import TranspilerError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import Gate, gate
+from repro.quantum.instruction import Instruction
+from repro.transpile.decompositions import decompose_to_cx, expand_cx
+from repro.transpile.euler import synthesize_1q
+from repro.transpile.passes import cancel_adjacent_cx
+from repro.transpile.routing import route
+from repro.transpile.transpiler import TranspileResult, transpile
+
+#: merge_1q_runs drops a merged run that is the identity up to global
+#: phase; the bind program replicates the check with the same tolerances
+#: (``np.allclose`` defaults: rtol=1e-5, atol=1e-12 as passed there).
+_IDENTITY_ATOL = 1e-12
+_ALLCLOSE_RTOL = 1e-5
+
+
+def _is_identity_up_to_phase(matrix: np.ndarray) -> bool:
+    """Scalar replica of ``np.allclose(m, m[0,0]*I, atol=1e-12)``.
+
+    Same comparison formula (``|a-b| <= atol + rtol*|b|`` entrywise), two
+    orders of magnitude cheaper than the array version — this check runs
+    once per merged run per bind.
+    """
+    pivot = complex(matrix[0, 0])
+    return (
+        abs(complex(matrix[0, 1])) <= _IDENTITY_ATOL
+        and abs(complex(matrix[1, 0])) <= _IDENTITY_ATOL
+        and abs(complex(matrix[1, 1]) - pivot)
+        <= _IDENTITY_ATOL + _ALLCLOSE_RTOL * abs(pivot)
+    )
+
+
+def _rz_matrix_stack(theta: np.ndarray) -> np.ndarray:
+    """All ``Rz(theta_j)`` matrices as one ``(l, 2, 2)`` array.
+
+    One vectorized ``exp`` replaces ``2l`` scalar exponentials per bind;
+    the entries are bit-identical to the gate library's Rz constructor
+    (same expression, same ufunc kernel — see ``_rz_matrix`` in
+    :mod:`repro.quantum.gates`), so compositions using these views match
+    ``merge_1q_runs`` exactly.
+    """
+    half = 0.5j * theta
+    stack = np.zeros((theta.size, 2, 2), dtype=complex)
+    stack[:, 0, 0] = np.exp(-half)
+    stack[:, 1, 1] = np.exp(half)
+    return stack
+
+
+#: Parameterless native gates are immutable — share one instance each.
+_SX_GATE = gate("sx")
+_X_GATE = gate("x")
+
+
+def _native_instruction(name: str, params: tuple, qubit_tuple: tuple) -> Instruction:
+    if name == "rz":
+        # Lazy matrix: most bound gates are never simulated.
+        return Instruction.trusted(
+            Gate.trusted("rz", 1, params), qubit_tuple
+        )
+    fixed = _SX_GATE if name == "sx" else _X_GATE
+    return Instruction.trusted(fixed, qubit_tuple)
+
+
+class _FixedBlock:
+    """A maximal stretch of instructions that no parameter can change."""
+
+    __slots__ = ("instructions",)
+
+    def __init__(self) -> None:
+        self.instructions: list[Instruction] = []
+
+    def emit(
+        self, theta: np.ndarray, rz_stack: np.ndarray, out: list[Instruction]
+    ) -> None:
+        out.extend(self.instructions)
+
+
+class _ParametricRun:
+    """One merged 1q run containing at least one trainable Rz.
+
+    ``elements`` lists the run in circuit order; each element is either a
+    fixed 2x2 matrix or an ``int`` parameter index.  Binding multiplies
+    the elements together one by one (later gates on the left) — the
+    *same sequence of 2x2 products* ``merge_1q_runs`` performs, so the
+    accumulated floating-point state is bit-identical and the ZYZ
+    resynthesis makes exactly the same 0/1/2-SX and angle-wrap decisions
+    as the full pipeline.  (Pre-folding adjacent fixed matrices would
+    change the association order; near the +-pi branch cut of the Euler
+    angles that 1-ulp difference flips an Rz sign.)
+    """
+
+    __slots__ = ("qubit", "qubit_tuple", "elements")
+
+    def __init__(self, qubit: int, elements: list) -> None:
+        self.qubit = qubit
+        self.qubit_tuple = (qubit,)
+        self.elements = elements
+
+    def emit(
+        self, theta: np.ndarray, rz_stack: np.ndarray, out: list[Instruction]
+    ) -> None:
+        matrix = None
+        for element in self.elements:
+            # A parameter index picks its Rz from the precomputed stack.
+            # Every step stays a full 2x2 matmul: shortcutting the
+            # diagonal Rz as a row scaling rounds differently from the
+            # BLAS product merge_1q_runs computes, and near the +-pi
+            # Euler branch cut a 1-ulp difference flips an Rz sign.
+            step = element if isinstance(element, np.ndarray) else rz_stack[element]
+            matrix = step if matrix is None else step @ matrix
+        if _is_identity_up_to_phase(matrix):
+            return
+        for name, params in synthesize_1q(matrix):
+            out.append(_native_instruction(name, params, self.qubit_tuple))
+
+
+class _ParametricRz:
+    """A native (virtual) Rz passed through untouched at level 0."""
+
+    __slots__ = ("qubit_tuple", "param")
+
+    def __init__(self, qubit: int, param: int) -> None:
+        self.qubit_tuple = (qubit,)
+        self.param = param
+
+    def emit(
+        self, theta: np.ndarray, rz_stack: np.ndarray, out: list[Instruction]
+    ) -> None:
+        angle = float(theta[self.param])
+        out.append(
+            Instruction.trusted(
+                Gate.trusted("rz", 1, (angle,)), self.qubit_tuple
+            )
+        )
+
+
+class ParametricTemplate:
+    """A fully routed, angle-free compilation of one ansatz on one backend.
+
+    Parameters
+    ----------
+    ansatz:
+        The fixed-shape circuit family (must provide ``parametric_circuit``
+        and ``num_parameters`` — see :class:`repro.core.ansatz.EnQodeAnsatz`).
+    backend:
+        Transpile target.
+    optimization_level:
+        Same meaning as in :func:`repro.transpile.transpiler.transpile`.
+
+    Building the template costs one structural pipeline run plus one full
+    reference transpile (used to verify bind-equality); every subsequent
+    :meth:`bind` costs only the parametric 1q resynthesis.
+    """
+
+    def __init__(self, ansatz, backend, optimization_level: int = 1) -> None:
+        if optimization_level not in (0, 1):
+            raise TranspilerError(
+                f"optimization_level must be 0 or 1, got {optimization_level}"
+            )
+        self.ansatz = ansatz
+        self.backend = backend
+        self.optimization_level = optimization_level
+        self.num_binds = 0
+
+        circuit, markers = ansatz.parametric_circuit()
+        if circuit.num_qubits > backend.num_qubits:
+            raise TranspilerError(
+                f"{circuit.num_qubits}-qubit circuit cannot target "
+                f"{backend.num_qubits}-qubit backend {backend.name!r}"
+            )
+        cx_level = decompose_to_cx(circuit)
+        if optimization_level >= 1:
+            cx_level = cancel_adjacent_cx(cx_level)
+        routing = route(cx_level, backend.coupling_map, None, seed=None)
+        entangled = expand_cx(
+            decompose_to_cx(routing.circuit),
+            backend.native_gates.two_qubit_gate,
+        )
+        self._initial_layout = routing.initial_layout
+        self._final_layout = routing.final_layout
+        self._num_swaps = routing.num_swaps_inserted
+        self._num_qubits = entangled.num_qubits
+        self._name = entangled.name
+
+        if optimization_level >= 1:
+            self._program = _compile_merged_program(entangled, markers)
+        else:
+            self._program = _compile_translate_program(
+                entangled,
+                markers,
+                backend.native_gates.one_qubit_gates
+                | backend.native_gates.virtual_gates,
+            )
+        self._needs_rz_stack = any(
+            isinstance(step, _ParametricRun) for step in self._program
+        )
+        self._verify_against_reference()
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, theta: np.ndarray) -> TranspileResult:
+        """Instantiate the template for one angle assignment.
+
+        Equivalent to ``transpile(ansatz.circuit(theta), backend,
+        optimization_level)`` but ~2 orders of magnitude cheaper: only the
+        parameter-carrying 1q runs are re-synthesized.
+        """
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.size != self.ansatz.num_parameters:
+            raise TranspilerError(
+                f"expected {self.ansatz.num_parameters} parameters, "
+                f"got {theta.size}"
+            )
+        rz_stack = _rz_matrix_stack(theta) if self._needs_rz_stack else None
+        instructions: list[Instruction] = []
+        for step in self._program:
+            step.emit(theta, rz_stack, instructions)
+        circuit = QuantumCircuit(self._num_qubits, name=self._name)
+        circuit._instructions = instructions
+        self.num_binds += 1
+        return TranspileResult(
+            circuit=circuit,
+            initial_layout=self._initial_layout.copy(),
+            final_layout=self._final_layout.copy(),
+            backend=self.backend,
+            num_swaps_inserted=self._num_swaps,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _verify_against_reference(self) -> None:
+        """Assert bind == full transpile on a reference angle assignment.
+
+        Any drift between the bind program and the real pipeline (e.g. a
+        future pass reordering) is caught here, at template construction,
+        rather than silently corrupting every bound circuit.
+        """
+        num_params = self.ansatz.num_parameters
+        theta_ref = np.linspace(0.3, 2.45, num_params)
+        reference = transpile(
+            self.ansatz.circuit(theta_ref),
+            self.backend,
+            optimization_level=self.optimization_level,
+        )
+        bound = self.bind(theta_ref)
+        self.num_binds = 0
+        if list(bound.circuit) != list(reference.circuit):
+            raise TranspilerError(
+                "parametric template deviates from the transpile pipeline "
+                f"for {self.ansatz!r} on {self.backend.name!r}"
+            )
+        if bound.num_swaps_inserted != reference.num_swaps_inserted:
+            raise TranspilerError("template SWAP accounting deviates")
+
+    def __repr__(self) -> str:
+        runs = sum(1 for s in self._program if not isinstance(s, _FixedBlock))
+        return (
+            f"ParametricTemplate({self.ansatz!r}, {self.backend.name!r}, "
+            f"level={self.optimization_level}, parametric_steps={runs})"
+        )
+
+
+def _compile_merged_program(circuit: QuantumCircuit, markers: dict[int, int]):
+    """Bind program replaying ``merge_1q_runs`` + ``resynthesize_1q``.
+
+    Walks the routed native-entangler circuit exactly as the merge pass
+    does, but keeps parameter slots symbolic.  Fixed gates inside a
+    parametric run stay as *individual* matrices (see
+    :class:`_ParametricRun` for why folding them would break
+    bit-exactness); fully fixed runs are folded and synthesized once,
+    here, into the shared :class:`_FixedBlock` stream.
+    """
+    program: list = []
+    pending: dict[int, list] = {}
+
+    def fixed_block() -> _FixedBlock:
+        if not (program and isinstance(program[-1], _FixedBlock)):
+            program.append(_FixedBlock())
+        return program[-1]
+
+    def flush(qubit: int) -> None:
+        elements = pending.pop(qubit, None)
+        if elements is None:
+            return
+        if any(not isinstance(e, np.ndarray) for e in elements):
+            program.append(_ParametricRun(qubit, elements))
+            return
+        matrix = elements[0]
+        for extra in elements[1:]:
+            matrix = extra @ matrix
+        if _is_identity_up_to_phase(matrix):
+            return
+        block = fixed_block()
+        for name, params in synthesize_1q(matrix):
+            block.instructions.append(Instruction(gate(name, *params), (qubit,)))
+
+    for instr in circuit:
+        if instr.gate.num_qubits == 1:
+            qubit = instr.qubits[0]
+            param = markers.get(id(instr.gate))
+            run = pending.setdefault(qubit, [])
+            run.append(instr.gate.matrix if param is None else param)
+        else:
+            for qubit in instr.qubits:
+                flush(qubit)
+            fixed_block().instructions.append(instr)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return program
+
+
+def _compile_translate_program(
+    circuit: QuantumCircuit,
+    markers: dict[int, int],
+    native_names: frozenset[str],
+):
+    """Bind program replaying ``translate_1q`` (optimization level 0)."""
+    program: list = []
+
+    def fixed_block() -> _FixedBlock:
+        if not (program and isinstance(program[-1], _FixedBlock)):
+            program.append(_FixedBlock())
+        return program[-1]
+
+    for instr in circuit:
+        param = (
+            markers.get(id(instr.gate)) if instr.gate.num_qubits == 1 else None
+        )
+        if param is not None:
+            if "rz" in native_names:
+                program.append(_ParametricRz(instr.qubits[0], param))
+            else:
+                program.append(_ParametricRun(instr.qubits[0], [param]))
+            continue
+        if instr.gate.num_qubits != 1 or instr.name in native_names:
+            fixed_block().instructions.append(instr)
+            continue
+        block = fixed_block()
+        for name, params in synthesize_1q(instr.gate.matrix):
+            block.instructions.append(Instruction(gate(name, *params), instr.qubits))
+    return program
+
+
+class TemplateCache:
+    """Process-wide memo of :class:`ParametricTemplate` instances.
+
+    Keyed by backend **identity** (weakly, so dropping a backend frees its
+    templates) and the ansatz's structural signature — two ansatz objects
+    with the same geometry share one template.  ``hits``/``misses``
+    counters make cache behaviour testable: a batch encode must build its
+    template at most once.
+    """
+
+    def __init__(self) -> None:
+        self._per_backend: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _ansatz_key(ansatz) -> tuple:
+        return (
+            type(ansatz).__name__,
+            ansatz.num_qubits,
+            ansatz.num_layers,
+            ansatz.entangler,
+            ansatz.alternate_orientation,
+        )
+
+    def get(self, ansatz, backend, optimization_level: int = 1) -> ParametricTemplate:
+        templates = self._per_backend.setdefault(backend, {})
+        key = (self._ansatz_key(ansatz), optimization_level)
+        template = templates.get(key)
+        if template is None:
+            self.misses += 1
+            template = ParametricTemplate(ansatz, backend, optimization_level)
+            templates[key] = template
+        else:
+            self.hits += 1
+        return template
+
+    def clear(self) -> None:
+        self._per_backend = weakref.WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._per_backend.values())
+
+
+#: The cache :func:`transpile_template` serves from.
+GLOBAL_TEMPLATE_CACHE = TemplateCache()
+
+
+def transpile_template(
+    ansatz, backend, optimization_level: int = 1
+) -> ParametricTemplate:
+    """Cached parametric template for ``(ansatz, backend, optimization_level)``.
+
+    The first call per key runs the structural transpile stages once;
+    later calls are dictionary lookups.  This is the entry point
+    :meth:`repro.core.encoder.EnQodeEncoder.encode_batch` uses to amortize
+    transpilation across a batch.
+    """
+    return GLOBAL_TEMPLATE_CACHE.get(ansatz, backend, optimization_level)

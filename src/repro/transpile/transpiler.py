@@ -124,6 +124,19 @@ def transpile(
     )
 
 
+def transpile_template(ansatz, backend: Backend, optimization_level: int = 1):
+    """Cached parametric template for a fixed-shape ansatz (fast path).
+
+    Companion entry point to :func:`transpile`; the mechanism, cache
+    contract, and exactness argument live in
+    :mod:`repro.transpile.template`.  (Local import: that module imports
+    this one.)
+    """
+    from repro.transpile.template import transpile_template as _cached
+
+    return _cached(ansatz, backend, optimization_level)
+
+
 def _check_native(circuit: QuantumCircuit, backend: Backend) -> None:
     native = backend.native_gates
     for instr in circuit:

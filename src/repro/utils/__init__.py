@@ -4,6 +4,7 @@ from repro.utils.linalg import (
     allclose_up_to_global_phase,
     global_phase_between,
     is_unitary,
+    popcount,
 )
 from repro.utils.rng import as_rng
 from repro.utils.timing import Timer
@@ -14,4 +15,5 @@ __all__ = [
     "as_rng",
     "global_phase_between",
     "is_unitary",
+    "popcount",
 ]

@@ -53,6 +53,25 @@ def allclose_up_to_global_phase(
     return bool(abs(abs(overlap) - norm_a * norm_b) <= atol * max(1.0, norm_a * norm_b))
 
 
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element population count (number of set bits) of an int array.
+
+    Uses :func:`numpy.bitwise_count` when the installed numpy provides it
+    (>= 2.0); otherwise falls back to an ``unpackbits`` reduction over the
+    little-endian byte view.  Both paths are fully vectorized — no Python
+    per-bit loop — and accept any non-negative integer dtype.
+    """
+    values = np.asarray(values)
+    if values.size and values.min() < 0:
+        raise ValueError("popcount requires non-negative integers")
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(values).astype(values.dtype)
+    flat = np.ascontiguousarray(values.ravel())
+    as_bytes = flat.astype("<u8").view(np.uint8)
+    counts = np.unpackbits(as_bytes.reshape(flat.size, 8), axis=1).sum(axis=1)
+    return counts.astype(values.dtype).reshape(values.shape)
+
+
 def normalize_vector(vec: np.ndarray) -> np.ndarray:
     """Return ``vec`` scaled to unit Euclidean norm.
 
