@@ -5,6 +5,7 @@ from repro.core.batch import (
     BatchFidelityObjective,
     BatchLBFGSOptimizer,
     BatchOptimizationResult,
+    BatchRestartResult,
 )
 from repro.core.clustering import (
     KMeans,
@@ -38,6 +39,7 @@ __all__ = [
     "BatchFidelityObjective",
     "BatchLBFGSOptimizer",
     "BatchOptimizationResult",
+    "BatchRestartResult",
     "ClusterModel",
     "EnQodeAnsatz",
     "EnQodeConfig",

@@ -50,6 +50,12 @@ class KMeans:
     ) -> None:
         if num_clusters < 1:
             raise ClusteringError("num_clusters must be >= 1")
+        if max_iterations < 1:
+            # Lloyd's loop body must run at least once, otherwise the
+            # iteration counter is never bound and centers never update.
+            raise ClusteringError("max_iterations must be >= 1")
+        if num_init < 1:
+            raise ClusteringError("num_init must be >= 1")
         self.num_clusters = num_clusters
         self.max_iterations = max_iterations
         self.tol = tol
@@ -74,11 +80,24 @@ class KMeans:
         return np.clip(dist_sq, 0.0, None)
 
     def _init_centers(
-        self, data: np.ndarray, rng: np.random.Generator
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator,
+        initial: np.ndarray | None = None,
     ) -> np.ndarray:
-        """k-means++ seeding."""
+        """k-means++ seeding, optionally extending ``initial`` centers.
+
+        With ``initial`` given (the warm-start path of
+        :func:`select_num_clusters`), those centers are kept and only the
+        missing ``num_clusters - len(initial)`` seeds are drawn with the
+        k-means++ rule — distances to the existing centers already steer
+        the draws toward uncovered regions.
+        """
         n_samples = data.shape[0]
-        centers = [data[rng.integers(n_samples)]]
+        if initial is not None:
+            centers = [np.asarray(c, dtype=float) for c in initial]
+        else:
+            centers = [data[rng.integers(n_samples)]]
         while len(centers) < self.num_clusters:
             dist_sq = self._distances_sq(data, np.asarray(centers)).min(axis=1)
             total = dist_sq.sum()
@@ -98,11 +117,21 @@ class KMeans:
             dist_sq = self._distances_sq(data, centers)
             labels = np.argmin(dist_sq, axis=1)
             new_inertia = float(dist_sq[np.arange(data.shape[0]), labels].sum())
+            # Vectorized center update: scatter-add member sums through a
+            # one-hot indicator product (one BLAS call instead of a
+            # Python loop over clusters); empty clusters keep their
+            # previous center, as before.
+            counts = np.bincount(labels, minlength=self.num_clusters)
+            one_hot = np.zeros(
+                (self.num_clusters, data.shape[0]), dtype=data.dtype
+            )
+            one_hot[labels, np.arange(data.shape[0])] = 1.0
+            sums = one_hot @ data
             new_centers = centers.copy()
-            for cluster in range(self.num_clusters):
-                members = data[labels == cluster]
-                if members.shape[0] > 0:
-                    new_centers[cluster] = members.mean(axis=0)
+            occupied = counts > 0
+            new_centers[occupied] = (
+                sums[occupied] / counts[occupied][:, None]
+            )
             shift = float(np.linalg.norm(new_centers - centers))
             centers = new_centers
             if abs(inertia - new_inertia) <= self.tol or shift <= self.tol:
@@ -113,7 +142,17 @@ class KMeans:
 
     # -- API --------------------------------------------------------------------
 
-    def fit(self, data: np.ndarray) -> "KMeans":
+    def fit(
+        self, data: np.ndarray, init_centers: np.ndarray | None = None
+    ) -> "KMeans":
+        """Fit ``num_clusters`` centers to ``data``.
+
+        ``init_centers`` (shape ``(m, d)`` with ``m <= num_clusters``)
+        switches from ``num_init`` independent k-means++ restarts to a
+        single warm-started Lloyd run seeded from those centers (extended
+        to ``num_clusters`` with k-means++ draws) — the incremental mode
+        :func:`select_num_clusters` uses while growing ``k``.
+        """
         data = np.asarray(data, dtype=float)
         if data.ndim != 2:
             raise ClusteringError(f"expected 2-D data, got shape {data.shape}")
@@ -123,9 +162,21 @@ class KMeans:
                 f"{data.shape[0]} samples"
             )
         rng = as_rng(self.seed)
+        if init_centers is not None:
+            init_centers = np.asarray(init_centers, dtype=float)
+            if (
+                init_centers.ndim != 2
+                or init_centers.shape[1] != data.shape[1]
+                or not 1 <= init_centers.shape[0] <= self.num_clusters
+            ):
+                raise ClusteringError(
+                    f"init_centers must be (1 <= m <= {self.num_clusters}, "
+                    f"{data.shape[1]}), got {init_centers.shape}"
+                )
         best = None
-        for _ in range(self.num_init):
-            centers = self._init_centers(data, rng)
+        num_runs = 1 if init_centers is not None else self.num_init
+        for _ in range(num_runs):
+            centers = self._init_centers(data, rng, initial=init_centers)
             centers, labels, inertia, n_iter = self._lloyd(data, centers)
             if best is None or inertia < best[2]:
                 best = (centers, labels, inertia, n_iter)
@@ -168,12 +219,30 @@ def nearest_centers(
 
 
 def min_nearest_fidelity(data: np.ndarray, centers: np.ndarray) -> float:
-    """min over samples of max over centers of |<x, c>|^2 (normalized)."""
+    """min over samples of max over centers of |<x, c>|^2 (normalized).
+
+    Zero-norm centers have no direction and are excluded from the max;
+    if *every* center is zero the quantity is undefined and a
+    :class:`ClusteringError` is raised (rather than an opaque numpy
+    reduction error on an empty axis).  A zero-norm data row is always
+    an error: its fidelity is undefined and would otherwise propagate
+    as a silent NaN through the cluster-count search.
+    """
     data = np.asarray(data, dtype=float)
     centers = np.asarray(centers, dtype=float)
-    data_unit = data / np.linalg.norm(data, axis=1, keepdims=True)
+    data_norms = np.linalg.norm(data, axis=1, keepdims=True)
+    if np.any(data_norms < 1e-300):
+        raise ClusteringError(
+            "min_nearest_fidelity is undefined for zero-norm data rows"
+        )
+    data_unit = data / data_norms
     norms = np.linalg.norm(centers, axis=1)
     safe = norms > 1e-300
+    if not np.any(safe):
+        raise ClusteringError(
+            "min_nearest_fidelity is undefined: all cluster centers have "
+            "zero norm"
+        )
     centers_unit = centers[safe] / norms[safe][:, None]
     overlaps = (data_unit @ centers_unit.T) ** 2
     return float(overlaps.max(axis=1).min())
@@ -185,6 +254,7 @@ def select_num_clusters(
     max_clusters: int = 64,
     seed: "int | np.random.Generator | None" = None,
     num_init: int = 4,
+    warm_start: bool = True,
 ) -> KMeans:
     """Grow ``k`` until every sample's nearest-center fidelity >= threshold.
 
@@ -192,16 +262,27 @@ def select_num_clusters(
     (or for ``max_clusters`` if the threshold is never met, with the
     shortfall left to the caller to inspect via
     :func:`min_nearest_fidelity`).
+
+    With ``warm_start`` (the default) each step seeds the ``k'``-means
+    init from the previous step's ``k`` centers — one Lloyd run that
+    only has to place the ``k' - k`` new centers — instead of
+    ``num_init`` full k-means++ restarts per step, which made the
+    growing search quadratic-ish in the final ``k``.  ``warm_start=
+    False`` restores the independent-restart search.
     """
     data = np.asarray(data, dtype=float)
     rng = as_rng(seed)
     k = 1
     best = None
+    previous_centers = None
     while k <= min(max_clusters, data.shape[0]):
-        model = KMeans(k, num_init=num_init, seed=rng).fit(data)
+        model = KMeans(k, num_init=num_init, seed=rng).fit(
+            data, init_centers=previous_centers if warm_start else None
+        )
         best = model
         if min_nearest_fidelity(data, model.centers_) >= min_fidelity:
             return model
+        previous_centers = model.centers_
         # Grow geometrically-ish to keep the search cheap for large k.
         k += max(1, k // 3)
     return best

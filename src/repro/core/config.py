@@ -24,6 +24,28 @@ class EnQodeConfig:
         Safety cap for the cluster search.
     offline_restarts, offline_max_iterations:
         L-BFGS budget when training a cluster mean from scratch.
+    offline_batch:
+        Train all cluster means through one stacked multi-restart
+        L-BFGS drive (:meth:`repro.core.batch.BatchLBFGSOptimizer.
+        optimize_restarts`) instead of a sequential per-cluster loop —
+        the Fig. 9(b) offline analogue of the batched online path.
+        Restart draws come from the same RNG stream as the sequential
+        loop, so the two paths start every cluster identically and
+        agree to ~1e-9 on well-covered clusters; on hard multi-basin
+        cluster means individual restarts may descend into different
+        local optima (same mean quality, different per-cluster draws of
+        the restart lottery).  Set ``False`` to fall back to exact
+        per-cluster training (benchmark baseline / escape hatch).
+    offline_polish_threshold:
+        Gradient inf-norm above which a cluster left unconverged by a
+        stacked offline run gets an individual warm-started polish run
+        (see :class:`repro.core.batch.BatchLBFGSOptimizer`); only used
+        when ``offline_batch`` is on.
+    warm_start_cluster_search:
+        Seed each step of the growing-``k`` cluster search from the
+        previous step's centers (one Lloyd run per step) instead of
+        independent k-means++ restarts at every ``k`` — see
+        :func:`repro.core.clustering.select_num_clusters`.
     online_max_iterations:
         L-BFGS budget for transfer-learned per-sample fine-tuning
         (small, keeping online latency low and uniform — Sec. III-D).
@@ -43,6 +65,9 @@ class EnQodeConfig:
     max_clusters: int = 64
     offline_restarts: int = 6
     offline_max_iterations: int = 1500
+    offline_batch: bool = True
+    offline_polish_threshold: float = 1e-7
+    warm_start_cluster_search: bool = True
     online_max_iterations: int = 80
     target_fidelity: float = 0.995
     gtol: float = 1e-9
@@ -61,6 +86,12 @@ class EnQodeConfig:
             )
         if self.online_max_iterations < 1 or self.offline_max_iterations < 1:
             raise OptimizationError("iteration budgets must be positive")
+        if self.offline_restarts < 1:
+            raise OptimizationError("offline_restarts must be >= 1")
+        if self.offline_polish_threshold < 0.0:
+            raise OptimizationError(
+                "offline_polish_threshold must be non-negative"
+            )
 
     @property
     def num_amplitudes(self) -> int:

@@ -69,9 +69,13 @@ class FidelityObjective:
         phases = self._half_p @ theta
         terms = self._coeff * np.exp(1j * phases)
         overlap = terms.sum()
-        # dS/dtheta_j = sum_r terms_r * i * P_rj / 2
-        d_overlap = 1j * (terms @ self._half_p)
-        grad_fidelity = 2.0 * np.real(np.conj(overlap) * d_overlap)
+        # dS/dtheta_j = sum_r terms_r * i * P_rj / 2; contracting the real
+        # and imaginary parts separately keeps the product real @ real
+        # (numpy would otherwise upcast P/2 to complex on every call).
+        grad_fidelity = 2.0 * (
+            overlap.imag * (terms.real @ self._half_p)
+            - overlap.real * (terms.imag @ self._half_p)
+        )
         loss = 1.0 - float(abs(overlap) ** 2)
         return loss, -grad_fidelity
 

@@ -73,6 +73,23 @@ class LBFGSOptimizer:
         self.target_fidelity = target_fidelity
         self.seed = seed
 
+    # -- restart draws ---------------------------------------------------------
+
+    @staticmethod
+    def draw_restart_start(
+        rng: np.random.Generator, num_params: int
+    ) -> np.ndarray:
+        """The restart initialization draw: uniform in ``[-pi, pi)^l``.
+
+        Factored out so the batched offline driver
+        (:class:`repro.core.batch.BatchLBFGSOptimizer`) consumes the
+        *same* RNG stream — restart ``r`` of a stacked run starts every
+        cluster exactly where restart ``r`` of a sequential
+        :meth:`optimize` call would start it, which is what makes
+        batched-vs-sequential offline training comparable draw for draw.
+        """
+        return rng.uniform(-np.pi, np.pi, size=num_params)
+
     # -- single run -----------------------------------------------------------
 
     def _run_once(
@@ -116,7 +133,7 @@ class LBFGSOptimizer:
                 if theta0 is not None:
                     start = np.asarray(theta0, dtype=float)
                 else:
-                    start = rng.uniform(-np.pi, np.pi, size=num_params)
+                    start = self.draw_restart_start(rng, num_params)
                 result = self._run_once(objective, start, max_iterations)
                 total_iters += int(result.nit)
                 total_evals += int(result.nfev)

@@ -109,6 +109,13 @@ class TransferLearner:
             ftol=self._optimizer.ftol,
         )
         batch = optimizer.optimize(objective, self.cluster_thetas[indices])
+        # Evaluations are a batch total: attribute them evenly, spreading
+        # the integer remainder over the first rows so the per-sample
+        # counts sum back to the exact total (summed stats then match the
+        # sequential path instead of inflating B-fold).
+        base_evals, extra_evals = divmod(
+            batch.num_evaluations, batch.batch_size
+        )
         outcomes = []
         for b in range(batch.batch_size):
             result = OptimizationResult(
@@ -116,7 +123,7 @@ class TransferLearner:
                 fidelity=float(batch.fidelities[b]),
                 loss=float(batch.losses[b]),
                 num_iterations=batch.per_sample_iterations(b),
-                num_evaluations=batch.num_evaluations,
+                num_evaluations=base_evals + (1 if b < extra_evals else 0),
                 time=batch.time / batch.batch_size,
                 converged=bool(batch.converged[b]),
                 restarts_used=1,

@@ -67,6 +67,33 @@ def test_fit_validates_input():
         KMeans(0)
 
 
+def test_zero_max_iterations_rejected():
+    """Regression: max_iterations=0 used to raise UnboundLocalError deep
+    inside Lloyd's loop; it must be rejected up front."""
+    with pytest.raises(ClusteringError):
+        KMeans(2, max_iterations=0)
+    with pytest.raises(ClusteringError):
+        KMeans(2, num_init=0)
+
+
+def test_warm_start_fit_extends_previous_centers(rng):
+    data = _blobs(rng, np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]]))
+    coarse = KMeans(2, seed=0).fit(data)
+    warm = KMeans(3, seed=0).fit(data, init_centers=coarse.centers_)
+    assert warm.centers_.shape == (3, 2)
+    assert warm.inertia_ <= coarse.inertia_ + 1e-9
+
+
+def test_warm_start_fit_validates_init_centers(rng):
+    data = _blobs(rng, np.array([[0.0, 0.0], [6.0, 0.0]]))
+    with pytest.raises(ClusteringError):
+        KMeans(2, seed=0).fit(data, init_centers=np.ones((5, 2)))
+    with pytest.raises(ClusteringError):
+        KMeans(2, seed=0).fit(data, init_centers=np.ones((2, 3)))
+    with pytest.raises(ClusteringError):
+        KMeans(2, seed=0).fit(data, init_centers=np.empty((0, 2)))
+
+
 def test_predict_before_fit_rejected():
     with pytest.raises(ClusteringError):
         KMeans(2).predict(np.ones((1, 2)))
@@ -119,3 +146,38 @@ def test_select_num_clusters_respects_cap(rng):
         data, min_fidelity=0.999, max_clusters=5, seed=0
     )
     assert model.num_clusters <= 5
+
+
+def test_min_nearest_fidelity_all_zero_centers_rejected(rng):
+    """Regression: an all-zero center matrix used to crash on an empty
+    numpy reduction; it must raise a clear ClusteringError."""
+    data = rng.normal(size=(5, 4))
+    with pytest.raises(ClusteringError):
+        min_nearest_fidelity(data, np.zeros((3, 4)))
+    # A partially-zero center set still works (zero rows are dropped).
+    centers = np.zeros((2, 4))
+    centers[0] = data[0]
+    assert 0.0 <= min_nearest_fidelity(data, centers) <= 1.0
+    # A zero data row would silently NaN-poison the cluster search.
+    bad = data.copy()
+    bad[2] = 0.0
+    with pytest.raises(ClusteringError):
+        min_nearest_fidelity(bad, centers)
+
+
+def test_select_num_clusters_warm_start_meets_threshold(rng):
+    basis = np.eye(8)[:4]
+    data = []
+    for direction in basis:
+        data.append(direction + 0.03 * rng.normal(size=(30, 8)))
+    data = np.concatenate(data)
+    data /= np.linalg.norm(data, axis=1, keepdims=True)
+    warm = select_num_clusters(data, min_fidelity=0.95, seed=0)
+    cold = select_num_clusters(
+        data, min_fidelity=0.95, seed=0, warm_start=False
+    )
+    assert min_nearest_fidelity(data, warm.centers_) >= 0.95
+    assert min_nearest_fidelity(data, cold.centers_) >= 0.95
+    # Reproducible: the warm-started search is deterministic per seed.
+    again = select_num_clusters(data, min_fidelity=0.95, seed=0)
+    np.testing.assert_array_equal(warm.centers_, again.centers_)
