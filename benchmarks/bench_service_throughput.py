@@ -1,0 +1,200 @@
+"""Streaming-service throughput: micro-batched submits vs per-sample encode.
+
+Measures the PR-3 tentpole: a stream of one-at-a-time ``EncodingService.
+submit`` calls (batch window 32, size-triggered flushes) must deliver
+>= 4x the throughput of the sequential per-sample ``encode`` loop at 6
+qubits, with identical cluster assignments and no fidelity regression —
+the micro-batcher hands streaming traffic the batched stage pipeline
+(stacked fine-tune + cached-template re-bind) that ``encode_batch``
+pioneered, plus p50/p95 end-to-end latency accounting per request.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_service_throughput.py``),
+as a CI smoke check (``... --smoke`` — one reduced 4-qubit scenario, no
+artifact write), or under pytest; the full run writes the
+``BENCH_service_throughput.json`` artifact at the repo root so future
+PRs can track the serving-path trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core import EnQodeConfig, EnQodeEncoder
+from repro.data import load_dataset
+from repro.hardware import brisbane_linear_segment
+from repro.service import EncodingService
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_service_throughput.json"
+)
+
+NUM_SAMPLES = 64
+BATCH_WINDOW = 32
+QUBIT_COUNTS = (4, 6)
+#: The acceptance gate applies at the paper-adjacent mid scale.
+GATED_QUBITS = 6
+MIN_SPEEDUP = 4.0
+REPETITIONS = 3
+
+
+def _fitted_encoder(num_qubits: int, num_samples: int):
+    # PCA requires at least 2**num_qubits samples.
+    dataset = load_dataset(
+        "mnist",
+        samples_per_class=60,
+        num_features=2**num_qubits,
+        seed=0,
+    )
+    config = EnQodeConfig(
+        num_qubits=num_qubits,
+        num_layers=8,
+        offline_restarts=2,
+        offline_max_iterations=500,
+        online_max_iterations=80,
+        max_clusters=24,
+        seed=7,
+    )
+    encoder = EnQodeEncoder(brisbane_linear_segment(num_qubits), config)
+    encoder.fit(dataset.amplitudes)
+    return encoder, dataset.amplitudes[:num_samples]
+
+
+def _stream_once(
+    encoder: EnQodeEncoder, samples: np.ndarray, window: int
+):
+    """One full streaming pass: submit one at a time, drain the tail."""
+    service = EncodingService(max_batch=window)
+    service.register("bench", encoder)
+    tickets = [service.submit(x, key="bench") for x in samples]
+    service.flush()
+    return service, [ticket.result(flush=False) for ticket in tickets]
+
+
+def _check_equivalence(sequential, responses) -> dict:
+    """Streamed results must match the per-sample loop (batch-path rules)."""
+    diffs = [
+        r.fidelity - s.ideal_fidelity
+        for s, r in zip(sequential, responses)
+    ]
+    return {
+        "max_fidelity_diff": float(max(abs(d) for d in diffs)),
+        "min_fidelity_advantage": float(min(diffs)),
+        "clusters_equal": bool(
+            all(
+                r.cluster_index == s.cluster_index
+                for s, r in zip(sequential, responses)
+            )
+        ),
+        "gate_counts_equal": bool(
+            all(
+                r.circuit.count_ops() == s.circuit.count_ops()
+                for s, r in zip(sequential, responses)
+            )
+        ),
+    }
+
+
+def run_scenario(num_qubits: int, num_samples: int, window: int) -> dict:
+    encoder, samples = _fitted_encoder(num_qubits, num_samples)
+    # Warm both paths (template build, numpy/scipy caches).
+    sequential = [encoder.encode(x) for x in samples[:2]]
+    _stream_once(encoder, samples[:2], window)
+
+    seq_times, stream_times = [], []
+    service = None
+    responses = None
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        sequential = [encoder.encode(x) for x in samples]
+        seq_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        service, responses = _stream_once(encoder, samples, window)
+        stream_times.append(time.perf_counter() - start)
+
+    seq_time = float(np.median(seq_times))
+    stream_time = float(np.median(stream_times))
+    stats = service.stats()
+    assert stats.requests_completed == num_samples
+    return {
+        "num_samples": num_samples,
+        "batch_window": window,
+        "sequential_seconds": seq_time,
+        "streaming_seconds": stream_time,
+        "sequential_samples_per_sec": num_samples / seq_time,
+        "streaming_samples_per_sec": num_samples / stream_time,
+        "speedup": seq_time / stream_time,
+        "num_flushes": stats.num_flushes,
+        "mean_batch_size": stats.mean_batch_size,
+        "p50_latency_ms": stats.p50_latency * 1e3,
+        "p95_latency_ms": stats.p95_latency * 1e3,
+        "evals_per_sample": stats.evals_per_sample,
+        "template_cache_hits": stats.template_cache_hits,
+        "template_cache_misses": stats.template_cache_misses,
+        **_check_equivalence(sequential, responses),
+    }
+
+
+def run_benchmark() -> dict:
+    return {
+        str(num_qubits): run_scenario(num_qubits, NUM_SAMPLES, BATCH_WINDOW)
+        for num_qubits in QUBIT_COUNTS
+    }
+
+
+def publish(results: dict, write_artifact: bool = True) -> None:
+    if write_artifact:
+        ARTIFACT.write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n"
+        )
+    header = (
+        f"{'qubits':>6} {'seq s/s':>10} {'stream s/s':>11} {'speedup':>8} "
+        f"{'p95 ms':>8} {'fid diff':>10}"
+    )
+    print("\n" + header)
+    for qubits, row in sorted(results.items()):
+        print(
+            f"{qubits:>6} {row['sequential_samples_per_sec']:>10.1f} "
+            f"{row['streaming_samples_per_sec']:>11.1f} "
+            f"{row['speedup']:>7.1f}x {row['p95_latency_ms']:>8.2f} "
+            f"{row['max_fidelity_diff']:>10.1e}"
+        )
+    if write_artifact:
+        print(f"artifact: {ARTIFACT}")
+
+
+def test_service_throughput():
+    results = run_benchmark()
+    publish(results)
+    for row in results.values():
+        assert row["clusters_equal"]
+        # Streaming may only ever match or beat the sequential optimizer.
+        assert row["min_fidelity_advantage"] > -1e-9
+    # Strict acceptance gate at the paper-adjacent mid scale: numerically
+    # equivalent results and >= 4x streaming throughput at window 32.
+    gated = results[str(GATED_QUBITS)]
+    assert gated["max_fidelity_diff"] < 1e-9
+    assert gated["gate_counts_equal"]
+    assert gated["speedup"] >= MIN_SPEEDUP
+
+
+def smoke() -> None:
+    """CI guard: one reduced 4-qubit scenario, no artifact write."""
+    results = {"4q_smoke": run_scenario(4, 16, 8)}
+    publish(results, write_artifact=False)
+    row = results["4q_smoke"]
+    assert row["clusters_equal"]
+    assert row["max_fidelity_diff"] < 1e-9
+    assert row["num_flushes"] == 2  # 16 submits through window 8
+    print("service throughput smoke: ok")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        smoke()
+    else:
+        test_service_throughput()

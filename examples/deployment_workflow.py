@@ -1,14 +1,21 @@
-"""Deployment workflow: train offline once, serve embeddings online.
+"""Deployment workflow: train offline once, serve a stream online.
 
 Sec. III-C/III-D describe EnQode as an offline/online system: cluster
 models are trained once per dataset+class, *stored*, and reused to embed
 a stream of incoming samples in real time.  This example runs that
-workflow end to end:
+workflow end to end on the service API:
 
-1. offline job — fit per-class encoders on a dataset, save them to JSON;
-2. online service — reload the models, embed incoming samples (including
-   auto-routing samples of unknown class), and read the embedded states
-   out with finite shots and calibrated readout error.
+1. offline job — fit per-class encoders on a dataset, save them as
+   versioned JSON bundles;
+2. online service — load the bundles into an
+   :class:`repro.service.EncodingService`, stream samples through the
+   micro-batcher (auto-routing samples of unknown class to the nearest
+   model), read the embedded states out with finite shots and calibrated
+   readout error, and print the service's latency/fidelity accounting.
+
+(The pre-service ``PerClassEnQode.encode_auto`` path still exists as a
+deprecated shim; the service applies the same nearest-class routing rule
+while batching fine-tunes and reusing the cached transpile template.)
 
 Run:  python examples/deployment_workflow.py
 """
@@ -19,13 +26,14 @@ import tempfile
 import numpy as np
 
 from repro import EnQodeConfig, brisbane_linear_segment, load_dataset
-from repro.core import PerClassEnQode, load_encoder, save_encoder
+from repro.core import PerClassEnQode, save_encoder
 from repro.quantum import simulate_statevector
 from repro.quantum.measurement import backend_readout_errors, sample_counts
+from repro.service import EncodingService
 
 
 def offline_job(backend, dataset, model_dir: pathlib.Path) -> None:
-    """Train and persist one encoder per class."""
+    """Train and persist one encoder per class as a versioned bundle."""
     trainer = PerClassEnQode(backend, EnQodeConfig(seed=7))
     reports = trainer.fit(dataset)
     for label, encoder in trainer.encoders.items():
@@ -41,29 +49,50 @@ def offline_job(backend, dataset, model_dir: pathlib.Path) -> None:
 
 
 def online_service(backend, dataset, model_dir: pathlib.Path) -> None:
-    """Reload models and embed a stream of samples."""
-    service = PerClassEnQode(backend, EnQodeConfig(seed=7))
+    """Reload the bundles and serve a stream of samples."""
+    # A small batch window keeps the demo's flushes visible; production
+    # windows (32+) amortize the stacked fine-tune further.  Loading a
+    # bundle validates its schema_version up front — an incompatible
+    # bundle fails here, not on live traffic.
+    service = EncodingService(max_batch=4)
     for path in sorted(model_dir.glob("enqode_class*.json")):
         label = int(path.stem.replace("enqode_class", ""))
-        service.encoders[label] = load_encoder(path, backend)
-    print(f"  loaded encoders for classes {service.classes()}")
+        service.load(label, path, backend)
+    print(f"  loaded encoders for classes {service.keys()}")
+
+    # Stream twelve requests of unknown class: submit() routes each to
+    # the nearest model and micro-batches the fine-tunes; every fourth
+    # submission triggers a flush.
+    rng = np.random.default_rng(0)
+    true_labels = [int(rng.choice(service.keys())) for _ in range(12)]
+    tickets = [
+        (
+            label,
+            service.submit(dataset.class_slice(label)[int(rng.integers(20))]),
+        )
+        for label in true_labels
+    ]
+    service.flush()  # drain the last partial batch
 
     readout = backend_readout_errors(backend)
-    rng = np.random.default_rng(0)
-    for i in range(4):
-        label = int(rng.choice(service.classes()))
-        sample = dataset.class_slice(label)[int(rng.integers(20))]
-        encoded = service.encode_auto(sample)  # class is not revealed
-        state = simulate_statevector(encoded.circuit)
+    for i, (label, ticket) in enumerate(tickets[:4]):
+        response = ticket.result()
+        state = simulate_statevector(response.circuit)
         counts = sample_counts(
             state, shots=256, seed=rng, readout_errors=readout
         )
         print(
-            f"  request {i}: true class {label}, "
-            f"fidelity {encoded.ideal_fidelity:.3f}, "
-            f"compiled in {encoded.compile_time * 1e3:.0f} ms, "
+            f"  request {i}: true class {label}, routed to "
+            f"{response.key}, fidelity {response.fidelity:.3f}, "
+            f"latency {response.latency * 1e3:.0f} ms "
+            f"(batch of {response.batch_size}), "
             f"top outcome {counts.most_frequent()!r}"
         )
+    routed = sum(
+        1 for label, ticket in tickets if ticket.result().key == label
+    )
+    print(f"  routing: {routed}/{len(tickets)} requests reached their class")
+    print(f"  service: {service.stats().summary()}")
 
 
 def main() -> None:

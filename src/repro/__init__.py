@@ -17,13 +17,27 @@ Quick start::
     encoded = encoder.encode(data.amplitudes[0])
     print(encoded.ideal_fidelity, encoded.metrics().depth)
 
+Serving a stream (the paper's online system, Sec. III-C/III-D): fitted
+encoders register with an :class:`~repro.service.EncodingService`, which
+micro-batches submissions into the batched fast path — same results as
+``encode_batch``, with per-request latency/fidelity accounting::
+
+    from repro import EncodingService
+
+    service = EncodingService(max_batch=32, max_delay=0.05)
+    service.register("class-0", encoder)     # or service.load(key, path, backend)
+    tickets = [service.submit(x) for x in data.amplitudes[:100]]
+    service.flush()                           # drain the last partial batch
+    print(tickets[0].result().fidelity, service.stats().summary())
+
 Subpackages
 -----------
 ``repro.quantum``    gates, circuits, statevector/density-matrix simulators
 ``repro.hardware``   heavy-hex topologies, calibrations, FakeBrisbane
 ``repro.transpile``  routing + native-basis lowering + circuit metrics
 ``repro.baseline``   exact amplitude embedding (Mottonen cascades)
-``repro.core``       the EnQode algorithm itself
+``repro.core``       the EnQode algorithm itself (stage pipeline included)
+``repro.service``    online serving: registry, micro-batcher, service stats
 ``repro.data``       synthetic image datasets + PCA pipeline
 ``repro.qml``        a variational classifier consuming the embeddings
 ``repro.evaluation`` per-figure experiment harness (Figs. 6-9)
@@ -31,6 +45,7 @@ Subpackages
 
 from repro.baseline import BaselineStatePreparation, PreparedState
 from repro.core import (
+    EncodePipeline,
     EnQodeAnsatz,
     EnQodeConfig,
     EnQodeEncoder,
@@ -49,24 +64,37 @@ from repro.quantum import (
     StatevectorSimulator,
     state_fidelity,
 )
+from repro.service import (
+    EncodeRequest,
+    EncodeResponse,
+    EncoderRegistry,
+    EncodingService,
+    ServiceStats,
+)
 from repro.transpile import transpile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Backend",
     "BaselineStatePreparation",
     "DensityMatrixSimulator",
+    "EncodePipeline",
+    "EncodeRequest",
+    "EncodeResponse",
+    "EncodedSample",
+    "EncoderRegistry",
+    "EncodingService",
     "EnQodeAnsatz",
     "EnQodeConfig",
     "EnQodeEncoder",
-    "EncodedSample",
     "FakeBrisbane",
     "FidelityObjective",
     "KMeans",
     "LBFGSOptimizer",
     "PreparedState",
     "QuantumCircuit",
+    "ServiceStats",
     "Statevector",
     "StatevectorSimulator",
     "SymbolicState",

@@ -22,9 +22,18 @@ from repro.core.encoder import (
     EnQodeEncoder,
     OfflineReport,
 )
-from repro.core.multiclass import PerClassEnQode
+from repro.core.multiclass import PerClassEnQode, nearest_class
 from repro.core.objective import FidelityObjective
 from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
+from repro.core.pipeline import (
+    BindStage,
+    EncodePipeline,
+    FinetuneStage,
+    LowerStage,
+    PipelineStats,
+    RoutePlan,
+    RouteStage,
+)
 from repro.core.serialization import (
     encoder_from_dict,
     encoder_to_dict,
@@ -40,7 +49,14 @@ __all__ = [
     "BatchLBFGSOptimizer",
     "BatchOptimizationResult",
     "BatchRestartResult",
+    "BindStage",
     "ClusterModel",
+    "EncodePipeline",
+    "FinetuneStage",
+    "LowerStage",
+    "PipelineStats",
+    "RoutePlan",
+    "RouteStage",
     "EnQodeAnsatz",
     "EnQodeConfig",
     "EnQodeEncoder",
@@ -61,6 +77,7 @@ __all__ = [
     "load_encoder",
     "min_nearest_fidelity",
     "nearest_center",
+    "nearest_class",
     "nearest_centers",
     "save_encoder",
     "select_num_clusters",

@@ -84,6 +84,8 @@ class EnQodeConfig:
             raise OptimizationError(
                 "min_cluster_fidelity must be in (0, 1]"
             )
+        if self.max_clusters < 1:
+            raise OptimizationError("max_clusters must be >= 1")
         if self.online_max_iterations < 1 or self.offline_max_iterations < 1:
             raise OptimizationError("iteration budgets must be positive")
         if self.offline_restarts < 1:
@@ -91,6 +93,15 @@ class EnQodeConfig:
         if self.offline_polish_threshold < 0.0:
             raise OptimizationError(
                 "offline_polish_threshold must be non-negative"
+            )
+        if not 0.0 < self.target_fidelity <= 1.0:
+            raise OptimizationError("target_fidelity must be in (0, 1]")
+        if self.gtol <= 0.0 or self.ftol <= 0.0:
+            raise OptimizationError("gtol and ftol must be > 0")
+        if self.optimization_level not in (0, 1):
+            raise OptimizationError(
+                f"optimization_level must be 0 or 1 (the transpiler's "
+                f"supported range), got {self.optimization_level}"
             )
 
     @property

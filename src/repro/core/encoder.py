@@ -24,6 +24,14 @@ angles per sample.  This is the amortized form of the paper's Fig. 9(a)
 millisecond-compile-latency claim; results are numerically equivalent to
 the per-sample loop (same cluster assignments, fidelities, and
 transpiled circuits).
+
+Both entry points are thin shims over the shared stage pipeline of
+:mod:`repro.core.pipeline` (route → finetune → bind → lower): ``encode``
+is a pipeline run of batch size one in full-transpile mode, and
+``encode_batch`` is a pipeline run in template mode.  New code that
+serves a *stream* of samples should prefer
+:class:`repro.service.EncodingService`, which drives the same pipeline
+through a micro-batcher; the shims stay for one-off and big-batch use.
 """
 
 from __future__ import annotations
@@ -42,18 +50,19 @@ from repro.core.clustering import (
 from repro.core.config import EnQodeConfig
 from repro.core.objective import FidelityObjective
 from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
+from repro.core.pipeline import EncodedSample, EncodePipeline
 from repro.core.symbolic import SymbolicState
 from repro.core.transfer import TransferLearner
 from repro.errors import OptimizationError
 from repro.hardware.backend import Backend
-from repro.quantum.circuit import QuantumCircuit
-from repro.transpile.metrics import CircuitMetrics
-from repro.transpile.transpiler import (
-    TranspileResult,
-    transpile,
-    transpile_template,
-)
 from repro.utils.timing import Timer
+
+__all__ = [
+    "ClusterModel",
+    "EncodedSample",
+    "EnQodeEncoder",
+    "OfflineReport",
+]
 
 
 @dataclass
@@ -84,49 +93,6 @@ class OfflineReport:
         return float(np.mean(self.cluster_fidelities))
 
 
-@dataclass
-class EncodedSample:
-    """One online-embedded sample, ready for a downstream QML circuit."""
-
-    target: np.ndarray
-    theta: np.ndarray
-    cluster_index: int
-    ideal_fidelity: float
-    transpiled: TranspileResult
-    compile_time: float
-    optimizer_iterations: int
-    ansatz: EnQodeAnsatz | None = None
-    logical: QuantumCircuit | None = None
-
-    @property
-    def logical_circuit(self) -> QuantumCircuit:
-        """The bound logical ansatz circuit (built lazily on first use).
-
-        The batched fast path never needs it — the template binds the
-        transpiled circuit directly from the angles — so constructing it
-        eagerly for every sample would be pure overhead.
-        """
-        if self.logical is None:
-            if self.ansatz is None:
-                raise OptimizationError(
-                    "EncodedSample has neither a prebuilt logical circuit "
-                    "nor an ansatz to build one from"
-                )
-            self.logical = self.ansatz.circuit(self.theta)
-        return self.logical
-
-    @property
-    def circuit(self) -> QuantumCircuit:
-        """The hardware-native embedding circuit."""
-        return self.transpiled.circuit
-
-    def metrics(self) -> CircuitMetrics:
-        return self.transpiled.metrics()
-
-    def physical_target(self) -> np.ndarray:
-        return self.transpiled.embed_target(self.target)
-
-
 class EnQodeEncoder:
     """Cluster-train offline, transfer-learn online (the paper's system)."""
 
@@ -151,6 +117,7 @@ class EnQodeEncoder:
         self.cluster_models: list[ClusterModel] = []
         self.offline_report: OfflineReport | None = None
         self._transfer: TransferLearner | None = None
+        self._pipeline: EncodePipeline | None = None
 
     # -- offline ------------------------------------------------------------------
 
@@ -324,8 +291,42 @@ class EnQodeEncoder:
 
     # -- online --------------------------------------------------------------------
 
+    @property
+    def pipeline(self) -> EncodePipeline:
+        """The shared route → finetune → bind → lower stage pipeline.
+
+        Built lazily from the fitted transfer learner and rebuilt if the
+        models are replaced (a refit, or a reload through
+        :mod:`repro.core.serialization`).  ``encode``/``encode_batch``
+        and :class:`repro.service.EncodingService` all execute this one
+        object, so there is a single implementation of the online path.
+        """
+        if not self.is_fitted:
+            raise OptimizationError(
+                "EnQodeEncoder has no pipeline before fit (or reload)"
+            )
+        if (
+            self._pipeline is None
+            or self._pipeline.transfer is not self._transfer
+        ):
+            self._pipeline = EncodePipeline(
+                self.ansatz,
+                self.backend,
+                self.config.optimization_level,
+                self._transfer,
+            )
+        return self._pipeline
+
     def encode(self, sample: np.ndarray) -> EncodedSample:
-        """Embed one sample via transfer learning (the "real-time" path)."""
+        """Embed one sample via transfer learning (the "real-time" path).
+
+        Compatibility shim: a :meth:`pipeline` run of batch size one in
+        full-transpile mode, which preserves the historical one-off
+        behaviour exactly (sequential scipy fine-tune, per-call
+        transpile).  Streaming callers should use
+        :class:`repro.service.EncodingService` instead, which batches
+        submissions into the template fast path.
+        """
         if not self.is_fitted:
             raise OptimizationError("EnQodeEncoder.encode called before fit")
         sample = np.asarray(sample, dtype=float).ravel()
@@ -334,35 +335,14 @@ class EnQodeEncoder:
                 f"sample has {sample.size} amplitudes, expected "
                 f"{self.config.num_amplitudes}"
             )
-        norm = np.linalg.norm(sample)
-        if norm < 1e-12:
-            raise OptimizationError("cannot embed the zero vector")
-        sample = sample / norm
-        with Timer() as timer:
-            outcome = self._transfer.embed(sample)
-            logical = self.ansatz.circuit(outcome.theta)
-            transpiled = transpile(
-                logical,
-                self.backend,
-                optimization_level=self.config.optimization_level,
-            )
-        return EncodedSample(
-            target=sample,
-            theta=outcome.theta,
-            cluster_index=outcome.cluster_index,
-            ideal_fidelity=outcome.fidelity,
-            transpiled=transpiled,
-            compile_time=timer.elapsed,
-            optimizer_iterations=outcome.result.num_iterations,
-            ansatz=self.ansatz,
-            logical=logical,
-        )
+        return self.pipeline.run(sample[None, :], use_template=False)[0]
 
     def encode_batch(
         self, samples: np.ndarray, use_template: bool = True
     ) -> list[EncodedSample]:
         """Embed a ``(B, 2^n)`` sample matrix through the batched fast path.
 
+        Compatibility shim over a :meth:`pipeline` run in template mode.
         Produces the same :class:`EncodedSample` list as ``[self.encode(x)
         for x in samples]`` — identical cluster assignments, fidelities,
         and transpiled circuits — but:
@@ -374,70 +354,21 @@ class EnQodeEncoder:
           optimization_level) into a cached parametric template, and each
           sample only re-binds its Rz angles.
 
-        ``use_template=False`` falls back to full per-sample transpiles
-        (still with batched optimization); it exists for benchmarking and
-        as an escape hatch.  Per-sample ``compile_time`` reports each
-        sample's share of the batch optimization (and of the one-time
-        template build, on a cache miss) plus its own bind time, so the
-        sum over a batch tracks actual wall time.
+        A single-row batch uses the sequential fine-tune engine (it *is*
+        ``encode``, modulo the template), so micro-batches of any size
+        stay consistent with the one-off path.  ``use_template=False``
+        falls back to full per-sample transpiles (still with batched
+        optimization); it exists for benchmarking and as an escape
+        hatch.  Per-sample ``compile_time`` reports each sample's share
+        of the batch optimization (and of the one-time template build,
+        on a cache miss) plus its own bind time, so the sum over a batch
+        tracks actual wall time.
         """
         if not self.is_fitted:
             raise OptimizationError(
                 "EnQodeEncoder.encode_batch called before fit"
             )
-        samples = np.atleast_2d(np.asarray(samples, dtype=float))
-        if samples.ndim != 2 or samples.shape[1] != self.config.num_amplitudes:
-            raise OptimizationError(
-                f"samples must be (B, {self.config.num_amplitudes}), "
-                f"got {samples.shape}"
-            )
-        if samples.shape[0] == 0:
-            return []
-        norms = np.linalg.norm(samples, axis=1, keepdims=True)
-        if np.any(norms < 1e-12):
-            raise OptimizationError("cannot embed a zero sample row")
-        samples = samples / norms
-
-        with Timer() as tune_timer:
-            outcomes = self._transfer.embed_batch(samples)
-        with Timer() as template_timer:
-            # On a cold cache this pays the one-time structural transpile;
-            # its cost is amortized into every sample's compile_time below.
-            template = (
-                transpile_template(
-                    self.ansatz, self.backend, self.config.optimization_level
-                )
-                if use_template
-                else None
-            )
-        shared_time = (tune_timer.elapsed + template_timer.elapsed) / max(
-            len(outcomes), 1
-        )
-
-        encoded: list[EncodedSample] = []
-        for sample, outcome in zip(samples, outcomes):
-            with Timer() as bind_timer:
-                if template is not None:
-                    transpiled = template.bind(outcome.theta)
-                else:
-                    transpiled = transpile(
-                        self.ansatz.circuit(outcome.theta),
-                        self.backend,
-                        optimization_level=self.config.optimization_level,
-                    )
-            encoded.append(
-                EncodedSample(
-                    target=sample,
-                    theta=outcome.theta,
-                    cluster_index=outcome.cluster_index,
-                    ideal_fidelity=outcome.fidelity,
-                    transpiled=transpiled,
-                    compile_time=shared_time + bind_timer.elapsed,
-                    optimizer_iterations=outcome.result.num_iterations,
-                    ansatz=self.ansatz,
-                )
-            )
-        return encoded
+        return self.pipeline.run(samples, use_template=use_template)
 
     # -- introspection ----------------------------------------------------------------
 

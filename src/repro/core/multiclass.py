@@ -4,17 +4,60 @@ Sec. IV-A reports offline cost "per dataset and class": EnQode trains an
 independent set of cluster models for every class of a dataset.  This
 facade manages that collection: fit one encoder per class, route encode
 requests, and aggregate the offline reports (what Fig. 9(b) plots).
+
+.. deprecated::
+    The *serving* half of this class (``encode``/``encode_auto``) is a
+    compatibility shim.  Online traffic should go through
+    :class:`repro.service.EncodingService`, which holds the same
+    per-class encoders in an :class:`repro.service.EncoderRegistry`
+    (``EncoderRegistry.from_per_class``), adds micro-batching, and
+    exposes request/response records with latency accounting.  The
+    offline half (``fit``/``total_offline_time``) remains the supported
+    way to train a per-class model collection.
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
+from repro.core.clustering import nearest_center
 from repro.core.config import EnQodeConfig
 from repro.core.encoder import EncodedSample, EnQodeEncoder, OfflineReport
 from repro.data.preprocess import EmbeddingDataset
 from repro.errors import OptimizationError
 from repro.hardware.backend import Backend
+
+
+def nearest_class(
+    sample: np.ndarray, encoders: Mapping[int, EnQodeEncoder]
+) -> int:
+    """The class whose nearest cluster center is closest to ``sample``.
+
+    The natural extension of Sec. III-D's nearest-cluster assignment
+    across several trained models: each class is represented by its best
+    (closest) cluster center, and ties go to the earliest-registered
+    class.  Shared by :meth:`PerClassEnQode.encode_auto` and the service
+    registry's automatic routing
+    (:meth:`repro.service.EncoderRegistry.route`), so both serving paths
+    make identical routing decisions.
+    """
+    if not encoders:
+        raise OptimizationError("no encoders to route between")
+    sample = np.asarray(sample, dtype=float).ravel()
+    norm = np.linalg.norm(sample)
+    if norm < 1e-12:
+        raise OptimizationError("cannot route the zero vector")
+    unit = sample / norm
+    best_label, best_distance = None, np.inf
+    for label, encoder in encoders.items():
+        # The same nearest-center arithmetic the route stage uses, so
+        # class-level and cluster-level assignments cannot drift apart.
+        _, nearest = nearest_center(unit, encoder.cluster_centers())
+        if nearest < best_distance:
+            best_label, best_distance = label, nearest
+    return best_label
 
 
 class PerClassEnQode:
@@ -46,7 +89,7 @@ class PerClassEnQode:
     def classes(self) -> list[int]:
         return sorted(self.encoders)
 
-    # -- online ------------------------------------------------------------------
+    # -- online (deprecated shims — see repro.service) -----------------------------
 
     def encoder_for(self, label: int) -> EnQodeEncoder:
         try:
@@ -58,28 +101,28 @@ class PerClassEnQode:
             ) from None
 
     def encode(self, sample: np.ndarray, label: int) -> EncodedSample:
-        """Embed ``sample`` with its class's trained models."""
+        """Embed ``sample`` with its class's trained models.
+
+        .. deprecated:: prefer ``EncodingService.submit(sample,
+           key=label)`` for serving traffic.
+        """
         return self.encoder_for(label).encode(sample)
 
     def encode_auto(self, sample: np.ndarray) -> EncodedSample:
         """Embed a sample of unknown class.
 
-        Picks the class whose nearest cluster center is closest to the
-        sample (the natural extension of Sec. III-D's nearest-cluster
-        assignment across all trained models), then transfer-learns there.
+        Picks the class via :func:`nearest_class`, then transfer-learns
+        there.
+
+        .. deprecated:: prefer ``EncodingService.submit(sample)`` (no
+           key), which applies the same routing rule through the
+           registry and micro-batches the fine-tune.
         """
         if not self.is_fitted:
             raise OptimizationError("PerClassEnQode.encode_auto before fit")
-        sample = np.asarray(sample, dtype=float).ravel()
-        unit = sample / np.linalg.norm(sample)
-        best_label, best_distance = None, np.inf
-        for label, encoder in self.encoders.items():
-            centers = encoder.cluster_centers()
-            distances = np.linalg.norm(centers - unit[None, :], axis=1)
-            nearest = float(distances.min())
-            if nearest < best_distance:
-                best_label, best_distance = label, nearest
-        return self.encoders[best_label].encode(sample)
+        return self.encoders[nearest_class(sample, self.encoders)].encode(
+            sample
+        )
 
     # -- reporting ----------------------------------------------------------------
 

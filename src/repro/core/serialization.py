@@ -5,7 +5,16 @@ support online training and inference."  This module makes that concrete:
 a fitted :class:`~repro.core.encoder.EnQodeEncoder`'s cluster centers,
 optimized parameters, and configuration round-trip through a plain JSON
 document, so offline training can run once (e.g. in a batch job) and the
-online embedding service can reload the models anywhere.
+online embedding service (:class:`repro.service.EncodingService`) can
+reload the models anywhere.
+
+Every bundle carries a ``schema_version``; readers reject a mismatched
+or missing version with a :class:`~repro.errors.SerializationError`
+naming the found and expected versions, so a service-side model reload
+fails loudly at load time instead of with a ``KeyError`` halfway through
+reconstruction.  (``format_version`` is still written and accepted as a
+legacy alias for version-1 bundles produced before ``schema_version``
+existed.)
 """
 
 from __future__ import annotations
@@ -20,9 +29,15 @@ from repro.core.config import EnQodeConfig
 from repro.core.encoder import ClusterModel, EnQodeEncoder, OfflineReport
 from repro.core.optimizer import OptimizationResult
 from repro.core.transfer import TransferLearner
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, SerializationError
 
-FORMAT_VERSION = 1
+#: Current bundle schema.  Version 1: top-level ``config`` +
+#: ``clusters`` (each with ``center``/``theta``/``fidelity`` and an
+#: optional ``training_time``).
+SCHEMA_VERSION = 1
+
+#: Legacy name kept for callers that imported it.
+FORMAT_VERSION = SCHEMA_VERSION
 
 
 def encoder_to_dict(encoder: EnQodeEncoder) -> dict:
@@ -30,6 +45,9 @@ def encoder_to_dict(encoder: EnQodeEncoder) -> dict:
     if not encoder.is_fitted:
         raise OptimizationError("cannot serialize an unfitted encoder")
     return {
+        "schema_version": SCHEMA_VERSION,
+        # Legacy alias so version-1 bundles stay readable by pre-
+        # ``schema_version`` checkouts.
         "format_version": FORMAT_VERSION,
         "config": dataclasses.asdict(encoder.config),
         "clusters": [
@@ -50,27 +68,56 @@ def save_encoder(encoder: EnQodeEncoder, path: "str | pathlib.Path") -> None:
     path.write_text(json.dumps(encoder_to_dict(encoder), indent=1))
 
 
+def _check_schema(payload: dict) -> None:
+    """Reject unknown schema versions with an actionable error."""
+    found = {
+        key: payload[key]
+        for key in ("schema_version", "format_version")
+        if key in payload
+    }
+    if not found:
+        raise SerializationError(
+            "stored EnQode model has no schema_version field "
+            f"(expected schema_version={SCHEMA_VERSION}); "
+            "is this an EnQode model bundle?"
+        )
+    # Both the canonical field and the legacy alias must agree with the
+    # reader: a bundle stamped with *any* other version is rejected.
+    mismatched = {k: v for k, v in found.items() if v != SCHEMA_VERSION}
+    if mismatched:
+        label = ", ".join(f"{k}={v!r}" for k, v in mismatched.items())
+        raise SerializationError(
+            f"unsupported EnQode model version ({label}; this build reads "
+            f"schema_version={SCHEMA_VERSION}); re-export the model with a "
+            "matching build"
+        )
+
+
+def _require(payload: dict, key: str):
+    try:
+        return payload[key]
+    except KeyError:
+        raise SerializationError(
+            f"stored EnQode model is missing the {key!r} section"
+        ) from None
+
+
 def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
     """Rebuild a ready-to-encode encoder from :func:`encoder_to_dict`."""
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise OptimizationError(
-            f"unsupported EnQode model format {version!r} "
-            f"(expected {FORMAT_VERSION})"
-        )
-    config = EnQodeConfig(**payload["config"])
+    _check_schema(payload)
+    config = EnQodeConfig(**_require(payload, "config"))
     encoder = EnQodeEncoder(backend, config)
     models = []
-    for entry in payload["clusters"]:
-        center = np.asarray(entry["center"], dtype=float)
-        theta = np.asarray(entry["theta"], dtype=float)
+    for entry in _require(payload, "clusters"):
+        center = np.asarray(_require(entry, "center"), dtype=float)
+        theta = np.asarray(_require(entry, "theta"), dtype=float)
         if center.size != config.num_amplitudes:
-            raise OptimizationError(
+            raise SerializationError(
                 f"stored center has dim {center.size}, config expects "
                 f"{config.num_amplitudes}"
             )
         if theta.size != encoder.ansatz.num_parameters:
-            raise OptimizationError(
+            raise SerializationError(
                 f"stored theta has {theta.size} parameters, ansatz has "
                 f"{encoder.ansatz.num_parameters}"
             )
@@ -78,7 +125,7 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
             ClusterModel(
                 center=center,
                 theta=theta,
-                fidelity=float(entry["fidelity"]),
+                fidelity=float(_require(entry, "fidelity")),
                 training_time=float(entry.get("training_time", 0.0)),
                 result=OptimizationResult(
                     theta=theta,
@@ -92,7 +139,7 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
             )
         )
     if not models:
-        raise OptimizationError("stored model has no clusters")
+        raise SerializationError("stored model has no clusters")
     encoder.cluster_models = models
     encoder._transfer = TransferLearner(
         encoder.ansatz,
@@ -118,4 +165,9 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
 def load_encoder(path: "str | pathlib.Path", backend) -> EnQodeEncoder:
     """Read a fitted encoder back from :func:`save_encoder` output."""
     payload = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"{path} does not contain an EnQode model bundle "
+            f"(top-level JSON value is {type(payload).__name__})"
+        )
     return encoder_from_dict(payload, backend)

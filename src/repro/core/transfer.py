@@ -6,12 +6,16 @@ fine-tune of the sample's own embedding.  Because the initialization is
 already close, the online step is fast and its latency is uniform — the
 property Fig. 9(a) measures.
 
-Two entry points: :meth:`TransferLearner.embed` fine-tunes one sample,
+Three entry points: :meth:`TransferLearner.embed` fine-tunes one sample,
 :meth:`TransferLearner.embed_batch` fine-tunes a whole sample matrix
 concurrently — vectorized nearest-center matching, one
 :class:`~repro.core.batch.BatchFidelityObjective`, and a single stacked
 L-BFGS drive (see :mod:`repro.core.batch`) that returns the same
-fidelities as the per-sample loop at a fraction of the cost.
+fidelities as the per-sample loop at a fraction of the cost — and
+:meth:`TransferLearner.finetune` is the shared engine behind both: it
+takes precomputed cluster assignments (the pipeline's *route* stage
+output, see :mod:`repro.core.pipeline`) and dispatches one row to the
+sequential optimizer and several rows to the stacked drive.
 """
 
 from __future__ import annotations
@@ -79,13 +83,7 @@ class TransferLearner:
         """Warm-start from the nearest cluster and fine-tune for ``sample``."""
         sample = np.asarray(sample, dtype=float).ravel()
         index, distance = nearest_center(sample, self.centers)
-        objective = FidelityObjective(self.symbolic, self.ansatz, sample)
-        result = self._optimizer.optimize(
-            objective, theta0=self.cluster_thetas[index]
-        )
-        return TransferOutcome(
-            cluster_index=index, cluster_distance=distance, result=result
-        )
+        return self._finetune_single(sample, index, distance)
 
     def embed_batch(self, samples: np.ndarray) -> list[TransferOutcome]:
         """Warm-start and fine-tune a ``(B, 2^n)`` sample matrix at once.
@@ -102,6 +100,53 @@ class TransferLearner:
         if samples.shape[0] == 0:
             return []
         indices, distances = nearest_centers(samples, self.centers)
+        return self._finetune_stacked(samples, indices, distances)
+
+    def finetune(
+        self,
+        samples: np.ndarray,
+        indices: np.ndarray,
+        distances: np.ndarray,
+    ) -> list[TransferOutcome]:
+        """Fine-tune rows whose cluster assignments are already known.
+
+        This is the engine behind the pipeline's *finetune* stage (see
+        :mod:`repro.core.pipeline`): routing has happened, warm starts are
+        ``cluster_thetas[indices]``.  A single row runs the sequential
+        scipy L-BFGS exactly as :meth:`embed` always has; two or more
+        rows run the stacked batched drive exactly as :meth:`embed_batch`
+        always has — so every caller of the stage (``encode``,
+        ``encode_batch``, :class:`repro.service.EncodingService`) gets
+        numerics identical to the path it replaced.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if samples.shape[0] == 0:
+            return []
+        if samples.shape[0] == 1:
+            return [
+                self._finetune_single(
+                    samples[0], int(indices[0]), float(distances[0])
+                )
+            ]
+        return self._finetune_stacked(samples, indices, distances)
+
+    def _finetune_single(
+        self, sample: np.ndarray, index: int, distance: float
+    ) -> TransferOutcome:
+        objective = FidelityObjective(self.symbolic, self.ansatz, sample)
+        result = self._optimizer.optimize(
+            objective, theta0=self.cluster_thetas[index]
+        )
+        return TransferOutcome(
+            cluster_index=index, cluster_distance=distance, result=result
+        )
+
+    def _finetune_stacked(
+        self,
+        samples: np.ndarray,
+        indices: np.ndarray,
+        distances: np.ndarray,
+    ) -> list[TransferOutcome]:
         objective = BatchFidelityObjective(self.symbolic, self.ansatz, samples)
         optimizer = BatchLBFGSOptimizer(
             max_iterations=self._optimizer.max_iterations,

@@ -36,6 +36,19 @@ class OptimizationError(ReproError):
     """Raised when symbolic optimization cannot be set up or fails hard."""
 
 
+class SerializationError(OptimizationError):
+    """Raised for unreadable or version-mismatched stored models.
+
+    Subclasses :class:`OptimizationError` so callers written against the
+    pre-``schema_version`` serialization module (which raised
+    ``OptimizationError`` for every failure) keep catching these.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the online :mod:`repro.service` serving layer."""
+
+
 class ClusteringError(ReproError):
     """Raised for invalid clustering configurations."""
 

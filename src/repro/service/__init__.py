@@ -1,0 +1,36 @@
+"""repro.service — the online serving layer (train once, serve many).
+
+The paper frames EnQode as an offline/online *system*: cluster models
+are trained once (Sec. III-C), stored, and then serve a live stream of
+samples at millisecond compile latency (Sec. III-D, Fig. 9a).  This
+package is that serving surface:
+
+* :class:`EncoderRegistry` — fitted encoders keyed by class/model id,
+  loading versioned bundles via :mod:`repro.core.serialization`;
+* :class:`MicroBatcher` — accumulates submitted samples and flushes on
+  ``max_batch`` or a latency deadline, so streaming traffic executes
+  the batched stage pipeline;
+* :class:`EncodingService` — the front end: typed
+  :class:`EncodeRequest`/:class:`EncodeResponse` records, automatic
+  nearest-model routing, and :class:`ServiceStats` accounting
+  (p50/p95 latency, evals/sample, template-cache hits).
+
+Every flush executes the same :class:`repro.core.pipeline.
+EncodePipeline` stage objects as ``EnQodeEncoder.encode_batch``, so
+service results are numerically identical to the big-batch path.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
+from repro.service.registry import EncoderRegistry
+from repro.service.service import EncodeTicket, EncodingService
+
+__all__ = [
+    "EncodeRequest",
+    "EncodeResponse",
+    "EncodeTicket",
+    "EncoderRegistry",
+    "EncodingService",
+    "MicroBatcher",
+    "ServiceStats",
+]

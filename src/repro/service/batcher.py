@@ -1,0 +1,106 @@
+"""Micro-batching queue: turn a request stream into pipeline batches.
+
+The pipeline's batched fast path (stacked fine-tune + template re-bind)
+needs batches; live traffic arrives one sample at a time.  The
+micro-batcher bridges the two with the classic serving trade-off:
+
+* a **size trigger** — a key's queue reaching ``max_batch`` flushes it
+  immediately (streaming traffic gets big-batch throughput);
+* a **latency deadline** — with ``max_delay`` set, a queue whose oldest
+  request has waited at least that long is flushed at the next
+  opportunity (a trickle of traffic is never stranded waiting for a
+  full batch).
+
+The batcher is deliberately synchronous and clock-injected: triggers
+fire inside :meth:`repro.service.EncodingService.submit` /
+:meth:`~repro.service.EncodingService.poll` calls, which keeps the
+service single-threaded, deterministic (the equivalence suites depend
+on that), and trivially testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ServiceError
+from repro.service.records import EncodeRequest
+
+
+class MicroBatcher:
+    """Per-key FIFO queues with size and deadline flush triggers."""
+
+    def __init__(
+        self, max_batch: int = 32, max_delay: "float | None" = None
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if max_delay is not None and max_delay < 0.0:
+            raise ServiceError("max_delay must be non-negative (or None)")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._queues: "dict[object, deque[EncodeRequest]]" = {}
+
+    # -- enqueue -------------------------------------------------------------------
+
+    def add(self, request: EncodeRequest) -> bool:
+        """Queue ``request`` under its key; True if the size trigger fired."""
+        queue = self._queues.setdefault(request.key, deque())
+        queue.append(request)
+        return len(queue) >= self.max_batch
+
+    # -- flush triggers ------------------------------------------------------------
+
+    def due_keys(self, now: float) -> list:
+        """Keys whose oldest request has exceeded the latency deadline."""
+        if self.max_delay is None:
+            return []
+        return [
+            key
+            for key, queue in self._queues.items()
+            if queue and now - queue[0].submitted_at >= self.max_delay
+        ]
+
+    def full_keys(self) -> list:
+        """Keys whose queue has reached ``max_batch``."""
+        return [
+            key
+            for key, queue in self._queues.items()
+            if len(queue) >= self.max_batch
+        ]
+
+    # -- drain ---------------------------------------------------------------------
+
+    def drain(self, key) -> list[EncodeRequest]:
+        """Remove and return up to ``max_batch`` oldest requests for ``key``."""
+        queue = self._queues.get(key)
+        if not queue:
+            return []
+        batch = [queue.popleft() for _ in range(min(len(queue), self.max_batch))]
+        if not queue:
+            del self._queues[key]
+        return batch
+
+    # -- introspection -------------------------------------------------------------
+
+    def pending(self, key=None) -> int:
+        if key is not None:
+            return len(self._queues.get(key, ()))
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pending_keys(self) -> list:
+        return [key for key, queue in self._queues.items() if queue]
+
+    def oldest_age(self, now: float) -> float:
+        """Age of the oldest queued request (0.0 when empty)."""
+        oldest = [
+            queue[0].submitted_at
+            for queue in self._queues.values()
+            if queue
+        ]
+        return now - min(oldest) if oldest else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(max_batch={self.max_batch}, "
+            f"max_delay={self.max_delay}, pending={self.pending()})"
+        )

@@ -1,0 +1,120 @@
+"""Typed request/response records for the online encoding service.
+
+The serving layer talks in these records rather than bare numpy arrays:
+every submitted sample becomes an :class:`EncodeRequest` stamped with a
+monotonic submission time, every flushed request becomes an
+:class:`EncodeResponse` carrying the :class:`~repro.core.pipeline.
+EncodedSample` plus per-request accounting (end-to-end latency, the
+micro-batch it rode in, optimizer work), and :class:`ServiceStats` is
+the aggregate snapshot (:meth:`repro.service.EncodingService.stats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import EncodedSample
+
+
+@dataclass
+class EncodeRequest:
+    """One sample submitted to the service, awaiting a micro-batch flush."""
+
+    request_id: int
+    key: int | str
+    sample: np.ndarray
+    submitted_at: float
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodeRequest(id={self.request_id}, key={self.key!r}, "
+            f"dim={self.sample.size})"
+        )
+
+
+@dataclass
+class EncodeResponse:
+    """One served embedding with its per-request accounting.
+
+    ``latency`` is end-to-end (submit to flush completion, including
+    queueing time in the micro-batcher); ``encoded.compile_time`` is the
+    sample's even share of the batch's pipeline work.  ``batch_size``
+    records how many requests rode in the same flush.
+    """
+
+    request_id: int
+    key: int | str
+    encoded: EncodedSample
+    submitted_at: float
+    completed_at: float
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to flush completion."""
+        return self.completed_at - self.submitted_at
+
+    @property
+    def fidelity(self) -> float:
+        return self.encoded.ideal_fidelity
+
+    @property
+    def cluster_index(self) -> int:
+        return self.encoded.cluster_index
+
+    @property
+    def circuit(self):
+        """The hardware-native embedding circuit."""
+        return self.encoded.circuit
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodeResponse(id={self.request_id}, key={self.key!r}, "
+            f"fidelity={self.fidelity:.4f}, "
+            f"latency={self.latency * 1e3:.2f}ms, batch={self.batch_size})"
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service-level accounting snapshot.
+
+    Latency percentiles are end-to-end request latencies (queueing +
+    encoding) over the service's most recent window (see
+    :data:`repro.service.service.STATS_WINDOW`); counts and means are
+    exact over all served traffic.  ``evals_per_sample`` averages the
+    optimizer's objective evaluations attributed to each sample; the
+    template counters are the transpile-cache hits/misses incurred by
+    this service's flushes only.
+    """
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    requests_pending: int = 0
+    num_flushes: int = 0
+    mean_batch_size: float = float("nan")
+    p50_latency: float = float("nan")
+    p95_latency: float = float("nan")
+    mean_latency: float = float("nan")
+    evals_per_sample: float = float("nan")
+    mean_fidelity: float = float("nan")
+    template_cache_hits: int = 0
+    template_cache_misses: int = 0
+    per_key_completed: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One human-readable line (what the examples print)."""
+        return (
+            f"{self.requests_completed}/{self.requests_submitted} served "
+            f"in {self.num_flushes} flushes "
+            f"(mean batch {self.mean_batch_size:.1f}), "
+            f"latency p50 {self.p50_latency * 1e3:.2f}ms "
+            f"p95 {self.p95_latency * 1e3:.2f}ms, "
+            f"{self.evals_per_sample:.1f} evals/sample, "
+            f"mean fidelity {self.mean_fidelity:.4f}, "
+            f"template cache {self.template_cache_hits} hits / "
+            f"{self.template_cache_misses} misses"
+        )

@@ -1,0 +1,139 @@
+"""Encoder registry: named, versioned model bundles for the service.
+
+The registry is the serving-side counterpart of the paper's "trained
+cluster models are then stored" (Sec. III-C): each fitted
+:class:`~repro.core.encoder.EnQodeEncoder` is registered under a key —
+a dataset class label, a model id, anything hashable — and the service
+routes every request to one of them.  Bundles persisted by
+:mod:`repro.core.serialization` load directly into a registry slot, and
+a version-mismatched bundle is rejected at load time with a
+:class:`~repro.errors.SerializationError` (never mid-request).
+
+This absorbs the serving half of
+:class:`repro.core.multiclass.PerClassEnQode`: automatic routing uses
+the same :func:`repro.core.multiclass.nearest_class` rule, and
+:meth:`EncoderRegistry.from_per_class` adopts an already-trained
+per-class collection wholesale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.encoder import EnQodeEncoder
+from repro.core.multiclass import PerClassEnQode, nearest_class
+from repro.core.serialization import load_encoder, save_encoder
+from repro.errors import ServiceError
+from repro.hardware.backend import Backend
+
+
+class EncoderRegistry:
+    """Fitted encoders keyed by class label / model id.
+
+    Keys keep registration order, which makes automatic routing
+    deterministic (ties go to the earliest-registered encoder, exactly
+    like ``PerClassEnQode.encode_auto`` always has).
+    """
+
+    def __init__(self) -> None:
+        self._encoders: dict = {}
+
+    # -- population ----------------------------------------------------------------
+
+    def register(self, key, encoder: EnQodeEncoder) -> EnQodeEncoder:
+        """Register a fitted encoder under ``key`` (replacing any holder)."""
+        if not isinstance(encoder, EnQodeEncoder):
+            raise ServiceError(
+                f"registry holds EnQodeEncoder instances, got "
+                f"{type(encoder).__name__}"
+            )
+        if not encoder.is_fitted:
+            raise ServiceError(
+                f"cannot register unfitted encoder under key {key!r}; "
+                "fit it or load a stored bundle first"
+            )
+        self._encoders[key] = encoder
+        return encoder
+
+    def load(
+        self, key, path: "str | pathlib.Path", backend: Backend
+    ) -> EnQodeEncoder:
+        """Load a stored model bundle into the ``key`` slot.
+
+        Schema validation happens here, at load time: a bundle written
+        by an incompatible build raises
+        :class:`~repro.errors.SerializationError` naming the found and
+        expected ``schema_version`` instead of failing on live traffic.
+        """
+        return self.register(key, load_encoder(path, backend))
+
+    def save(self, key, path: "str | pathlib.Path") -> None:
+        """Persist the ``key`` encoder as a versioned bundle."""
+        save_encoder(self.get(key), path)
+
+    @classmethod
+    def from_per_class(cls, per_class: PerClassEnQode) -> "EncoderRegistry":
+        """Adopt a trained :class:`PerClassEnQode`'s encoders wholesale."""
+        registry = cls()
+        for label, encoder in per_class.encoders.items():
+            registry.register(label, encoder)
+        return registry
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, key) -> EnQodeEncoder:
+        try:
+            return self._encoders[key]
+        except KeyError:
+            raise ServiceError(
+                f"no encoder registered under key {key!r}; "
+                f"available: {self.keys()}"
+            ) from None
+
+    def keys(self) -> list:
+        return list(self._encoders)
+
+    def items(self):
+        return self._encoders.items()
+
+    def __len__(self) -> int:
+        return len(self._encoders)
+
+    def __contains__(self, key) -> bool:
+        return key in self._encoders
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(self, sample: np.ndarray):
+        """Key of the encoder whose nearest cluster center is closest.
+
+        The multi-model extension of Sec. III-D's nearest-cluster rule
+        (see :func:`repro.core.multiclass.nearest_class`); used by the
+        service for submissions that do not name an encoder.  Only
+        encoders whose amplitude width matches the sample participate —
+        a sample no registered encoder can embed is a
+        :class:`~repro.errors.ServiceError`, not a numpy broadcast
+        failure.
+        """
+        if not self._encoders:
+            raise ServiceError("cannot route: registry is empty")
+        sample = np.asarray(sample, dtype=float).ravel()
+        candidates = {
+            key: encoder
+            for key, encoder in self._encoders.items()
+            if encoder.config.num_amplitudes == sample.size
+        }
+        if not candidates:
+            widths = sorted(
+                {e.config.num_amplitudes for e in self._encoders.values()}
+            )
+            raise ServiceError(
+                f"no registered encoder accepts {sample.size} amplitudes "
+                f"(registered widths: {widths})"
+            )
+        return nearest_class(sample, candidates)
+
+    def __repr__(self) -> str:
+        return f"EncoderRegistry(keys={self.keys()})"

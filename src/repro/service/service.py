@@ -1,0 +1,351 @@
+"""The online encoding service: registry + micro-batcher + accounting.
+
+:class:`EncodingService` is the deployment surface Sec. III-C/III-D
+describe — train once, store, then serve a live stream of samples at
+millisecond compile latency (Fig. 9a).  It composes the pieces this
+package provides:
+
+* an :class:`~repro.service.registry.EncoderRegistry` of fitted
+  encoders keyed by class/model id (loaded from versioned bundles or
+  registered in-process);
+* a :class:`~repro.service.batcher.MicroBatcher` that accumulates
+  ``submit()``-ed samples per key and flushes on ``max_batch`` or a
+  latency deadline, so streaming traffic executes the *batched* stage
+  pipeline (stacked fine-tune + cached-template re-bind) instead of the
+  one-off path;
+* typed :class:`~repro.service.records.EncodeRequest` /
+  :class:`~repro.service.records.EncodeResponse` records with
+  per-request timing and fidelity, aggregated into
+  :class:`~repro.service.records.ServiceStats` (p50/p95 latency,
+  evals/sample, template-cache hits).
+
+Every flush runs :meth:`repro.core.encoder.EnQodeEncoder.pipeline`'s
+``run`` on the accumulated batch — the *same* stage objects
+``encode_batch`` executes — so a submit-then-flush of B samples is
+numerically identical to one ``encode_batch`` call on those B samples.
+
+Example
+-------
+>>> service = EncodingService(max_batch=32)
+>>> service.register("digits-0", fitted_encoder)
+>>> tickets = [service.submit(x) for x in stream]   # auto-flushes per 32
+>>> service.flush()                                  # drain the remainder
+>>> fidelities = [t.result().fidelity for t in tickets]
+>>> print(service.stats().summary())
+"""
+
+from __future__ import annotations
+
+import itertools
+import pathlib
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoder import EnQodeEncoder
+from repro.errors import ServiceError
+from repro.hardware.backend import Backend
+from repro.service.batcher import MicroBatcher
+from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
+from repro.service.registry import EncoderRegistry
+from repro.transpile.template import GLOBAL_TEMPLATE_CACHE
+
+#: Latency percentiles are computed over this many most-recent requests,
+#: so a long-lived service keeps O(1) memory per request stream (means
+#: and counts are exact running aggregates over *all* traffic).
+STATS_WINDOW = 4096
+
+
+@dataclass
+class EncodeTicket:
+    """Handle returned by :meth:`EncodingService.submit`.
+
+    The response appears when the request's micro-batch flushes;
+    :meth:`result` forces a flush of the owning queue if the caller
+    cannot wait for a trigger.  A request whose flush errored carries
+    the failure in ``error`` and re-raises it from :meth:`result`.
+    """
+
+    request: EncodeRequest
+    response: "EncodeResponse | None" = None
+    error: "Exception | None" = None
+    _service: "EncodingService | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def result(self, flush: bool = True) -> EncodeResponse:
+        """The response, flushing this request's queue first if needed."""
+        if self.response is None and self.error is None:
+            if flush and self._service is not None:
+                self._service.flush(self.request.key)
+        if self.error is not None:
+            raise ServiceError(
+                f"request {self.request.request_id} failed during its "
+                f"micro-batch flush: {self.error}"
+            ) from self.error
+        if self.response is None:
+            raise ServiceError(
+                f"request {self.request.request_id} is still queued "
+                "(called with flush=False, or the ticket is detached "
+                "from its service); flush the service to serve it"
+            )
+        return self.response
+
+
+class EncodingService:
+    """Micro-batched, multi-encoder online serving front end.
+
+    Parameters
+    ----------
+    registry:
+        Encoder collection to serve from (a fresh empty registry by
+        default; populate via :meth:`register` / :meth:`load`).
+    max_batch:
+        Size trigger: a key's queue reaching this many pending requests
+        flushes immediately inside ``submit``.
+    max_delay:
+        Optional latency deadline in seconds: any queue whose oldest
+        request has waited this long is flushed at the next ``submit``
+        or ``poll`` call.  ``None`` (default) disables the deadline —
+        callers flush explicitly.
+    use_template:
+        Lower via the cached parametric transpile template (the fast
+        path, default) or full per-sample transpiles (escape hatch).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        registry: "EncoderRegistry | None" = None,
+        *,
+        max_batch: int = 32,
+        max_delay: "float | None" = None,
+        use_template: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else EncoderRegistry()
+        self.batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay)
+        self.use_template = use_template
+        self.clock = clock
+        self._ids = itertools.count()
+        self._tickets: "dict[int, EncodeTicket]" = {}
+        # Aggregate accounting (ServiceStats is a computed snapshot).
+        # Means/counts are exact running aggregates; only the latency
+        # percentile window holds per-request history, and it is bounded
+        # so unbounded traffic cannot grow service memory.
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._flushes = 0
+        self._latency_window: "deque[float]" = deque(maxlen=STATS_WINDOW)
+        self._latency_sum = 0.0
+        self._batch_size_sum = 0
+        self._evaluation_sum = 0
+        self._fidelity_sum = 0.0
+        self._per_key_completed: dict = {}
+        self._template_hits = 0
+        self._template_misses = 0
+
+    # -- registry passthroughs -----------------------------------------------------
+
+    def register(self, key, encoder: EnQodeEncoder) -> EnQodeEncoder:
+        """Register a fitted encoder under ``key``."""
+        return self.registry.register(key, encoder)
+
+    def load(
+        self, key, path: "str | pathlib.Path", backend: Backend
+    ) -> EnQodeEncoder:
+        """Load a versioned model bundle into the ``key`` slot."""
+        return self.registry.load(key, path, backend)
+
+    def keys(self) -> list:
+        return self.registry.keys()
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, sample: np.ndarray, key=None) -> EncodeTicket:
+        """Queue one sample; returns a ticket that fills on flush.
+
+        Without ``key`` the sample is routed to the registry's nearest
+        encoder (the ``PerClassEnQode.encode_auto`` rule).  Validation
+        happens here — a malformed sample fails its own ``submit`` call
+        instead of poisoning a whole micro-batch later.  If this
+        submission fills the key's queue to ``max_batch`` the queue is
+        flushed before returning (the returned ticket is then already
+        ``done``); a configured ``max_delay`` is also enforced across
+        all queues on every submit.
+        """
+        sample = self._validate(np.asarray(sample, dtype=float).ravel())
+        if key is None:
+            key = self.registry.route(sample)
+        encoder = self.registry.get(key)
+        if sample.size != encoder.config.num_amplitudes:
+            raise ServiceError(
+                f"sample has {sample.size} amplitudes, encoder {key!r} "
+                f"expects {encoder.config.num_amplitudes}"
+            )
+        request = EncodeRequest(
+            request_id=next(self._ids),
+            key=key,
+            sample=sample,
+            submitted_at=self.clock(),
+        )
+        ticket = EncodeTicket(request=request, _service=self)
+        self._tickets[request.request_id] = ticket
+        self._submitted += 1
+        if self.batcher.add(request):
+            self._flush_key(key)
+        self.poll()
+        return ticket
+
+    def _validate(self, sample: np.ndarray) -> np.ndarray:
+        if sample.size == 0:
+            raise ServiceError("cannot submit an empty sample")
+        if not np.all(np.isfinite(sample)):
+            raise ServiceError("sample contains non-finite entries")
+        if np.linalg.norm(sample) < 1e-12:
+            raise ServiceError(
+                "cannot submit the zero vector (amplitude embedding is "
+                "undefined for it)"
+            )
+        return sample
+
+    # -- flushing ------------------------------------------------------------------
+
+    def poll(self) -> list[EncodeResponse]:
+        """Flush every queue whose latency deadline has passed."""
+        responses: list[EncodeResponse] = []
+        for key in self.batcher.due_keys(self.clock()):
+            responses.extend(self._flush_key(key))
+        return responses
+
+    def flush(self, key=None) -> list[EncodeResponse]:
+        """Flush one key's queue (or, with no key, every pending queue)."""
+        keys = [key] if key is not None else self.batcher.pending_keys()
+        responses: list[EncodeResponse] = []
+        for one in keys:
+            while self.batcher.pending(one):
+                responses.extend(self._flush_key(one))
+        return responses
+
+    def _flush_key(self, key) -> list[EncodeResponse]:
+        requests = self.batcher.drain(key)
+        if not requests:
+            return []
+        hits0, misses0 = (
+            GLOBAL_TEMPLATE_CACHE.hits,
+            GLOBAL_TEMPLATE_CACHE.misses,
+        )
+        try:
+            encoder = self.registry.get(key)
+            samples = np.stack([request.sample for request in requests])
+            # The same stage objects encode/encode_batch execute — a flush
+            # of B requests is numerically identical to encode_batch on
+            # them.
+            encoded = encoder.pipeline.run(
+                samples, use_template=self.use_template
+            )
+        except Exception as exc:
+            # The requests are already drained: fail their tickets loudly
+            # (result() re-raises) rather than stranding them forever —
+            # e.g. a hot-reloaded bundle with a different amplitude width
+            # invalidates whatever was queued under the old model.
+            for request in requests:
+                ticket = self._tickets.pop(request.request_id, None)
+                if ticket is not None:
+                    ticket.error = exc
+                self._failed += 1
+            raise ServiceError(
+                f"flush of {len(requests)} request(s) for encoder "
+                f"{key!r} failed: {exc}"
+            ) from exc
+        completed_at = self.clock()
+        self._template_hits += GLOBAL_TEMPLATE_CACHE.hits - hits0
+        self._template_misses += GLOBAL_TEMPLATE_CACHE.misses - misses0
+        self._flushes += 1
+        self._batch_size_sum += len(requests)
+        responses = []
+        for request, sample in zip(requests, encoded):
+            response = EncodeResponse(
+                request_id=request.request_id,
+                key=key,
+                encoded=sample,
+                submitted_at=request.submitted_at,
+                completed_at=completed_at,
+                batch_size=len(requests),
+            )
+            ticket = self._tickets.pop(request.request_id, None)
+            if ticket is not None:
+                ticket.response = response
+            self._completed += 1
+            self._latency_window.append(response.latency)
+            self._latency_sum += response.latency
+            self._evaluation_sum += sample.optimizer_evaluations
+            self._fidelity_sum += sample.ideal_fidelity
+            self._per_key_completed[key] = (
+                self._per_key_completed.get(key, 0) + 1
+            )
+            responses.append(response)
+        return responses
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return self.batcher.pending()
+
+    def stats(self) -> ServiceStats:
+        """Aggregate accounting snapshot since construction.
+
+        Counts and means are exact over all served traffic; latency
+        percentiles cover the most recent :data:`STATS_WINDOW` requests.
+        """
+        window = np.asarray(self._latency_window, dtype=float)
+        have = window.size > 0
+        done = self._completed
+        return ServiceStats(
+            requests_submitted=self._submitted,
+            requests_completed=done,
+            requests_failed=self._failed,
+            requests_pending=self.pending,
+            num_flushes=self._flushes,
+            mean_batch_size=(
+                self._batch_size_sum / self._flushes
+                if self._flushes
+                else float("nan")
+            ),
+            p50_latency=(
+                float(np.percentile(window, 50)) if have else float("nan")
+            ),
+            p95_latency=(
+                float(np.percentile(window, 95)) if have else float("nan")
+            ),
+            mean_latency=self._latency_sum / done if done else float("nan"),
+            evals_per_sample=(
+                self._evaluation_sum / done if done else float("nan")
+            ),
+            mean_fidelity=(
+                self._fidelity_sum / done if done else float("nan")
+            ),
+            template_cache_hits=self._template_hits,
+            template_cache_misses=self._template_misses,
+            per_key_completed=dict(self._per_key_completed),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodingService(keys={self.keys()}, "
+            f"max_batch={self.batcher.max_batch}, "
+            f"max_delay={self.batcher.max_delay}, pending={self.pending})"
+        )

@@ -1,9 +1,9 @@
-"""Unit tests for per-class EnQode training."""
+"""Unit tests for per-class EnQode training and its auto-routing."""
 
 import numpy as np
 import pytest
 
-from repro.core import EnQodeConfig, PerClassEnQode
+from repro.core import EnQodeConfig, PerClassEnQode, nearest_class
 from repro.data import prepare_embedding_dataset
 from repro.errors import OptimizationError
 
@@ -69,6 +69,68 @@ def test_encode_auto_routes_to_right_class(fitted, toy_dataset):
         manual = model.encode(sample, label)
         # Auto-routing should reach (at least) the labelled fidelity.
         assert auto.ideal_fidelity >= manual.ideal_fidelity - 0.05
+
+
+def test_encode_auto_selects_best_overlap_class(fitted, toy_dataset):
+    """The routed class is the one with the maximal best-center overlap.
+
+    For unit vectors ``||x - c||^2 = 2 - 2<x, c>``, so the nearest-center
+    rule picks the class whose best cluster center has the largest
+    signed overlap ``<x, c>`` — the closest-fidelity proxy the
+    deployment workflow relies on (fidelity is the overlap squared).
+    """
+    model, _ = fitted
+    for label in (0, 1):
+        sample = toy_dataset.class_slice(label)[2]
+        unit = sample / np.linalg.norm(sample)
+        per_class_best = {
+            cls: max(
+                float(np.dot(unit, center))
+                for center in encoder.cluster_centers()
+            )
+            for cls, encoder in model.encoders.items()
+        }
+        routed = nearest_class(sample, model.encoders)
+        assert per_class_best[routed] == max(per_class_best.values())
+        # encode_auto lands on that same class's models.
+        encoded = model.encode_auto(sample)
+        routed_encoder = model.encoders[routed]
+        assert encoded.cluster_index < len(routed_encoder.cluster_models)
+        manual = routed_encoder.encode(sample)
+        assert encoded.ideal_fidelity == pytest.approx(
+            manual.ideal_fidelity, abs=1e-12
+        )
+        assert encoded.cluster_index == manual.cluster_index
+
+
+def test_nearest_class_tie_breaks_to_first_registered(fitted):
+    """Registration order decides exact ties (deterministic routing)."""
+    model, _ = fitted
+    # Route one of class 1's own cluster centers through a dict that
+    # contains the same encoder twice under different labels.
+    center = model.encoders[1].cluster_centers()[0]
+    duplicated = {7: model.encoders[1], 8: model.encoders[1]}
+    assert nearest_class(center, duplicated) == 7
+
+
+def test_nearest_class_input_validation(fitted):
+    model, _ = fitted
+    with pytest.raises(OptimizationError):
+        nearest_class(np.ones(16), {})
+    with pytest.raises(OptimizationError):
+        nearest_class(np.zeros(16), model.encoders)
+
+
+def test_encode_auto_matches_service_registry_routing(fitted, toy_dataset):
+    """PerClassEnQode and the service registry make identical decisions."""
+    from repro.service import EncoderRegistry
+
+    model, _ = fitted
+    registry = EncoderRegistry.from_per_class(model)
+    assert registry.keys() == list(model.encoders)
+    for label in (0, 1):
+        sample = toy_dataset.class_slice(label)[3]
+        assert registry.route(sample) == nearest_class(sample, model.encoders)
 
 
 def test_encode_auto_before_fit_rejected(segment4):

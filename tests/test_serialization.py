@@ -89,6 +89,62 @@ def test_version_mismatch_rejected(fitted, segment4):
         encoder_from_dict(payload, segment4)
 
 
+def test_schema_version_written_and_enforced(fitted, segment4):
+    """Bundles carry schema_version; a mismatch names found/expected."""
+    from repro.core.serialization import SCHEMA_VERSION
+    from repro.errors import SerializationError
+
+    encoder, _ = fitted
+    payload = encoder_to_dict(encoder)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    payload["schema_version"] = 99
+    with pytest.raises(SerializationError) as err:
+        encoder_from_dict(payload, segment4)
+    assert "99" in str(err.value)
+    assert str(SCHEMA_VERSION) in str(err.value)
+
+
+def test_missing_version_rejected(fitted, segment4):
+    from repro.errors import SerializationError
+
+    encoder, _ = fitted
+    payload = encoder_to_dict(encoder)
+    del payload["schema_version"]
+    del payload["format_version"]
+    with pytest.raises(SerializationError, match="schema_version"):
+        encoder_from_dict(payload, segment4)
+
+
+def test_missing_sections_raise_serialization_error(fitted, segment4):
+    """A truncated bundle fails with a named section, not a KeyError."""
+    from repro.errors import SerializationError
+
+    encoder, _ = fitted
+    for key in ("config", "clusters"):
+        payload = encoder_to_dict(encoder)
+        del payload[key]
+        with pytest.raises(SerializationError, match=key):
+            encoder_from_dict(payload, segment4)
+
+
+def test_non_bundle_file_rejected(segment4, tmp_path):
+    from repro.errors import SerializationError
+
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(SerializationError):
+        load_encoder(path, segment4)
+
+
+def test_serialization_error_is_backward_compatible(fitted, segment4):
+    """SerializationError still lands in pre-existing except clauses."""
+    from repro.errors import OptimizationError as OptErr
+    from repro.errors import ReproError, SerializationError
+
+    assert issubclass(SerializationError, OptErr)
+    assert issubclass(SerializationError, ReproError)
+
+
 def test_dimension_mismatch_rejected(fitted, segment4):
     encoder, _ = fitted
     payload = encoder_to_dict(encoder)
