@@ -51,7 +51,12 @@ def offline_job(backend, dataset, model_dir: pathlib.Path) -> None:
 def online_service(backend, dataset, model_dir: pathlib.Path) -> None:
     """Reload the bundles and serve a stream of samples."""
     # A small batch window keeps the demo's flushes visible; production
-    # windows (32+) amortize the stacked fine-tune further.  Loading a
+    # windows (32+) amortize the batched fine-tune and the vectorized
+    # template lowering further: each flush fine-tunes its whole batch in
+    # one L-BFGS drive and lowers it through a single
+    # ParametricTemplate.bind_batch sweep (stacked 2x2 composition +
+    # batched ZYZ — instruction-identical to per-sample compiles; the
+    # stats line below counts one template bind per request).  Loading a
     # bundle validates its schema_version up front — an incompatible
     # bundle fails here, not on live traffic.
     service = EncodingService(max_batch=4)

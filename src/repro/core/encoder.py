@@ -17,10 +17,10 @@ noise exposure — which is EnQode's core claim.
 Batched online (:meth:`EnQodeEncoder.encode_batch`): the fixed shape
 also means every sample's *compilation* is the same work with different
 Rz angles, so the batch path (i) fine-tunes all samples concurrently via
-the stacked optimizer in :mod:`repro.core.batch` and (ii) transpiles the
+the batched optimizer in :mod:`repro.core.batch` and (ii) transpiles the
 ansatz **once** into a cached parametric template
-(:func:`repro.transpile.transpiler.transpile_template`), re-binding
-angles per sample.  This is the amortized form of the paper's Fig. 9(a)
+(:func:`repro.transpile.transpiler.transpile_template`), lowering the
+whole batch through one vectorized ``bind_batch`` sweep.  This is the amortized form of the paper's Fig. 9(a)
 millisecond-compile-latency claim; results are numerically equivalent to
 the per-sample loop (same cluster assignments, fidelities, and
 transpiled circuits).
@@ -185,6 +185,7 @@ class EnQodeEncoder:
             max_iterations=self.config.online_max_iterations,
             gtol=self.config.gtol,
             ftol=self.config.ftol,
+            batch_engine=self.config.online_batch_engine,
         )
         self.offline_report = OfflineReport(
             num_clusters=len(self.cluster_models),
@@ -347,12 +348,16 @@ class EnQodeEncoder:
         for x in samples]`` — identical cluster assignments, fidelities,
         and transpiled circuits — but:
 
-        * all ``B`` fine-tunes run concurrently through one stacked
+        * all ``B`` fine-tunes run concurrently through one batched
           L-BFGS drive over a :class:`~repro.core.batch.
-          BatchFidelityObjective` (one BLAS pass per iteration);
+          BatchFidelityObjective` (one BLAS pass per iteration; the
+          engine is selected by ``config.online_batch_engine``);
         * the ansatz is transpiled once per (ansatz, backend,
-          optimization_level) into a cached parametric template, and each
-          sample only re-binds its Rz angles.
+          optimization_level) into a cached parametric template, and the
+          whole batch re-binds its Rz angles through one vectorized
+          :meth:`~repro.transpile.template.ParametricTemplate.bind_batch`
+          sweep (stacked 2x2 composition + batched ZYZ resynthesis,
+          instruction-identical to per-sample binds).
 
         A single-row batch uses the sequential fine-tune engine (it *is*
         ``encode``, modulo the template), so micro-batches of any size

@@ -161,8 +161,9 @@ class LowerStage:
     Two modes, numerically identical (asserted at template build):
 
     * :meth:`template` returns the cached parametric template for the
-      pipeline's (ansatz, backend, optimization_level) — per-sample
-      lowering is then a cheap angle re-bind;
+      pipeline's (ansatz, backend, optimization_level) — lowering is
+      then one cheap vectorized angle re-bind for the whole batch
+      (:meth:`repro.transpile.template.ParametricTemplate.bind_batch`);
     * :meth:`run` performs the full transpile of a logical circuit (the
       escape hatch, and the mode the one-off ``encode`` shim keeps for
       behavioural compatibility).
@@ -192,16 +193,26 @@ class LowerStage:
 class PipelineStats:
     """Aggregate stage counters for one :class:`EncodePipeline`.
 
-    ``batch_sizes`` keeps only the most recent runs (bounded) so a
-    long-lived serving pipeline does not grow memory with traffic; the
-    totals are exact running aggregates.
+    The four timing buckets mirror the stage split: ``route_seconds``
+    (nearest-cluster assignment), ``finetune_seconds`` (the L-BFGS
+    drive), ``bind_seconds`` (instantiating circuits from angles — the
+    batched template bind in template mode, the logical-circuit build
+    otherwise), and ``lower_seconds`` (template fetch/build plus any
+    full per-sample transpiles).  ``template_binds`` counts every *row*
+    lowered through a cached template (a ``bind_batch`` of ``B``
+    samples counts ``B``), feeding the serving layer's bind
+    accounting.  ``batch_sizes`` keeps only the most recent runs
+    (bounded) so a long-lived serving pipeline does not grow memory
+    with traffic; the totals are exact running aggregates.
     """
 
     runs: int = 0
     samples: int = 0
     route_seconds: float = 0.0
     finetune_seconds: float = 0.0
+    bind_seconds: float = 0.0
     lower_seconds: float = 0.0
+    template_binds: int = 0
     batch_sizes: "deque[int]" = field(
         default_factory=lambda: deque(maxlen=1024)
     )
@@ -259,14 +270,17 @@ class EncodePipeline:
     ) -> list[EncodedSample]:
         """Drive ``samples`` through all four stages.
 
-        With ``use_template`` the *lower* stage binds the cached
-        parametric template per sample (the batch/service fast path);
-        without it each sample's logical circuit is built by the *bind*
-        stage and fully transpiled (the one-off ``encode`` behaviour).
-        Per-sample ``compile_time`` carries an even share of the shared
-        stage work (routing, fine-tune drive, one-time template build on
-        a cache miss) plus the sample's own lowering time, so it sums
-        back to actual wall time over the batch.
+        With ``use_template`` the whole batch lowers through one
+        vectorized :meth:`ParametricTemplate.bind_batch` sweep over the
+        cached parametric template (the batch/service fast path —
+        instruction-identical to per-sample binds); without it each
+        sample's logical circuit is built by the *bind* stage and fully
+        transpiled (the one-off ``encode`` behaviour).  Per-sample
+        ``compile_time`` carries an even share of the shared stage work
+        (routing, fine-tune drive, one-time template build on a cache
+        miss, and the batched bind sweep in template mode) plus any
+        per-sample lowering time, so it sums back to actual wall time
+        over the batch.
         """
         samples = self.prepare(samples)
         if samples.shape[0] == 0:
@@ -284,34 +298,64 @@ class EncodePipeline:
         ) / len(outcomes)
 
         encoded: list[EncodedSample] = []
+        bind_seconds = 0.0
         lower_seconds = template_timer.elapsed
-        for sample, outcome in zip(samples, outcomes):
-            with Timer() as lower_timer:
-                if template is not None:
-                    logical = None
-                    transpiled = template.bind(outcome.theta)
-                else:
-                    logical = self.bind.run(outcome.theta)
-                    transpiled = self.lower.run(logical)
-            lower_seconds += lower_timer.elapsed
-            encoded.append(
-                EncodedSample(
-                    target=sample,
-                    theta=outcome.theta,
-                    cluster_index=outcome.cluster_index,
-                    ideal_fidelity=outcome.fidelity,
-                    transpiled=transpiled,
-                    compile_time=shared_time + lower_timer.elapsed,
-                    optimizer_iterations=outcome.result.num_iterations,
-                    optimizer_evaluations=outcome.result.num_evaluations,
-                    ansatz=self.ansatz,
-                    logical=logical,
+        if template is not None:
+            # The whole batch lowers through one vectorized
+            # ParametricTemplate.bind_batch sweep; each sample's
+            # compile_time carries an even share of it.
+            thetas = np.asarray([outcome.theta for outcome in outcomes])
+            with Timer() as bind_timer:
+                transpiled_batch = template.bind_batch(thetas)
+            bind_seconds = bind_timer.elapsed
+            bind_share = bind_timer.elapsed / len(outcomes)
+            self.stats.template_binds += len(outcomes)
+            for sample, outcome, transpiled in zip(
+                samples, outcomes, transpiled_batch
+            ):
+                encoded.append(
+                    EncodedSample(
+                        target=sample,
+                        theta=outcome.theta,
+                        cluster_index=outcome.cluster_index,
+                        ideal_fidelity=outcome.fidelity,
+                        transpiled=transpiled,
+                        compile_time=shared_time + bind_share,
+                        optimizer_iterations=outcome.result.num_iterations,
+                        optimizer_evaluations=outcome.result.num_evaluations,
+                        ansatz=self.ansatz,
+                        logical=None,
+                    )
                 )
-            )
+        else:
+            for sample, outcome in zip(samples, outcomes):
+                with Timer() as bind_timer:
+                    logical = self.bind.run(outcome.theta)
+                with Timer() as lower_timer:
+                    transpiled = self.lower.run(logical)
+                bind_seconds += bind_timer.elapsed
+                lower_seconds += lower_timer.elapsed
+                encoded.append(
+                    EncodedSample(
+                        target=sample,
+                        theta=outcome.theta,
+                        cluster_index=outcome.cluster_index,
+                        ideal_fidelity=outcome.fidelity,
+                        transpiled=transpiled,
+                        compile_time=shared_time
+                        + bind_timer.elapsed
+                        + lower_timer.elapsed,
+                        optimizer_iterations=outcome.result.num_iterations,
+                        optimizer_evaluations=outcome.result.num_evaluations,
+                        ansatz=self.ansatz,
+                        logical=logical,
+                    )
+                )
         self.stats.runs += 1
         self.stats.samples += len(encoded)
         self.stats.route_seconds += route_timer.elapsed
         self.stats.finetune_seconds += tune_timer.elapsed
+        self.stats.bind_seconds += bind_seconds
         self.stats.lower_seconds += lower_seconds
         self.stats.batch_sizes.append(len(encoded))
         return encoded

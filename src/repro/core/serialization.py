@@ -149,6 +149,7 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
         max_iterations=config.online_max_iterations,
         gtol=config.gtol,
         ftol=config.ftol,
+        batch_engine=config.online_batch_engine,
     )
     encoder.offline_report = OfflineReport(
         num_clusters=len(models),

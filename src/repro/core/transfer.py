@@ -62,6 +62,7 @@ class TransferLearner:
         max_iterations: int = 80,
         gtol: float = 1e-9,
         ftol: float = 1e-12,
+        batch_engine: str = "stacked",
     ) -> None:
         centers = np.asarray(centers, dtype=float)
         cluster_thetas = np.asarray(cluster_thetas, dtype=float)
@@ -71,10 +72,17 @@ class TransferLearner:
             )
         if cluster_thetas.shape[1] != ansatz.num_parameters:
             raise OptimizationError("cluster theta size != ansatz parameters")
+        if batch_engine not in ("stacked", "rows"):
+            raise OptimizationError(
+                f"batch_engine must be 'stacked' or 'rows', "
+                f"got {batch_engine!r}"
+            )
         self.ansatz = ansatz
         self.symbolic = symbolic
         self.centers = centers
         self.cluster_thetas = cluster_thetas
+        #: Multi-row drive selection — see EnQodeConfig.online_batch_engine.
+        self.batch_engine = batch_engine
         self._optimizer = LBFGSOptimizer(
             max_iterations=max_iterations, gtol=gtol, ftol=ftol, num_restarts=1
         )
@@ -114,10 +122,13 @@ class TransferLearner:
         :mod:`repro.core.pipeline`): routing has happened, warm starts are
         ``cluster_thetas[indices]``.  A single row runs the sequential
         scipy L-BFGS exactly as :meth:`embed` always has; two or more
-        rows run the stacked batched drive exactly as :meth:`embed_batch`
-        always has — so every caller of the stage (``encode``,
-        ``encode_batch``, :class:`repro.service.EncodingService`) gets
-        numerics identical to the path it replaced.
+        rows run the batched drive selected by ``batch_engine`` —
+        ``"rows"`` (the per-row vectorized engine, the measured
+        warm-start winner and the ``EnQodeConfig`` default) or
+        ``"stacked"`` (the historical scipy block-diagonal drive) —
+        so every caller of the stage (``encode``, ``encode_batch``,
+        :class:`repro.service.EncodingService`) gets the same
+        configured numerics.
         """
         samples = np.atleast_2d(np.asarray(samples, dtype=float))
         if samples.shape[0] == 0:
@@ -153,7 +164,11 @@ class TransferLearner:
             gtol=self._optimizer.gtol,
             ftol=self._optimizer.ftol,
         )
-        batch = optimizer.optimize(objective, self.cluster_thetas[indices])
+        theta0 = self.cluster_thetas[indices]
+        if self.batch_engine == "rows":
+            batch = optimizer.optimize_rows(objective, theta0)
+        else:
+            batch = optimizer.optimize(objective, theta0)
         # Evaluations are a batch total: attribute them evenly, spreading
         # the integer remainder over the first rows so the per-sample
         # counts sum back to the exact total (summed stats then match the

@@ -97,6 +97,24 @@ class Gate:
         gate_obj._matrix = matrix
         return gate_obj
 
+    @classmethod
+    def trusted_rz(cls, angle: float) -> "Gate":
+        """Minimal lazy-matrix ``rz`` gate (the template-bind hot path).
+
+        Equivalent to ``Gate.trusted("rz", 1, (angle,))`` with the
+        argument shuffling inlined away — template binds emit thousands
+        of Rz gates per batch, and this constructor (together with
+        :meth:`repro.quantum.instruction.Instruction.trusted_rz`) is
+        their single allocation site for gate objects.  The caller
+        guarantees ``angle`` is a Python float.
+        """
+        gate_obj = object.__new__(cls)
+        gate_obj.name = "rz"
+        gate_obj.num_qubits = 1
+        gate_obj.params = (angle,)
+        gate_obj._matrix = None
+        return gate_obj
+
     @property
     def matrix(self) -> np.ndarray:
         """The gate unitary (read-only view; lazily built if deferred)."""

@@ -39,6 +39,23 @@ class Instruction:
         instr.qubits = qubits
         return instr
 
+    @classmethod
+    def trusted_rz(cls, angle: float, qubits: tuple[int, ...]) -> "Instruction":
+        """One-call construction of a lazy-matrix ``rz`` instruction.
+
+        The template bind paths emit thousands of Rz gates per batch;
+        building the gate (via :meth:`Gate.trusted_rz`, which owns the
+        gate internals) and the instruction in a single call — matrix
+        deferred, no validation — nearly halves the per-gate constructor
+        overhead of ``trusted(Gate.trusted(...), ...)``.  The caller
+        guarantees ``angle`` is a Python float and ``qubits`` a
+        well-formed 1-tuple.
+        """
+        instr = object.__new__(cls)
+        instr.gate = Gate.trusted_rz(angle)
+        instr.qubits = qubits
+        return instr
+
     @property
     def name(self) -> str:
         return self.gate.name

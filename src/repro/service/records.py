@@ -85,9 +85,16 @@ class ServiceStats:
     encoding) over the service's most recent window (see
     :data:`repro.service.service.STATS_WINDOW`); counts and means are
     exact over all served traffic.  ``evals_per_sample`` averages the
-    optimizer's objective evaluations attributed to each sample; the
+    optimizer's objective evaluations attributed to each sample — its
+    unit depends on ``EnQodeConfig.online_batch_engine`` (the per-row
+    drive counts each row's own evaluations, the stacked drive splits
+    whole-batch scipy passes evenly), so compare it only within one
+    engine setting; the
     template counters are the transpile-cache hits/misses incurred by
-    this service's flushes only.
+    this service's flushes only, and ``template_binds`` counts the
+    *rows* this service lowered through a cached template — one per
+    sample of every template-mode flush, whether the flush bound them
+    one at a time or through a single vectorized ``bind_batch`` sweep.
     """
 
     requests_submitted: int = 0
@@ -103,6 +110,7 @@ class ServiceStats:
     mean_fidelity: float = float("nan")
     template_cache_hits: int = 0
     template_cache_misses: int = 0
+    template_binds: int = 0
     per_key_completed: dict = field(default_factory=dict)
 
     def summary(self) -> str:
@@ -116,5 +124,6 @@ class ServiceStats:
             f"{self.evals_per_sample:.1f} evals/sample, "
             f"mean fidelity {self.mean_fidelity:.4f}, "
             f"template cache {self.template_cache_hits} hits / "
-            f"{self.template_cache_misses} misses"
+            f"{self.template_cache_misses} misses, "
+            f"{self.template_binds} template binds"
         )

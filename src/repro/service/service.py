@@ -156,6 +156,7 @@ class EncodingService:
         self._per_key_completed: dict = {}
         self._template_hits = 0
         self._template_misses = 0
+        self._template_binds = 0
 
     # -- registry passthroughs -----------------------------------------------------
 
@@ -249,13 +250,13 @@ class EncodingService:
         )
         try:
             encoder = self.registry.get(key)
+            pipeline = encoder.pipeline
+            binds_before = pipeline.stats.template_binds
             samples = np.stack([request.sample for request in requests])
             # The same stage objects encode/encode_batch execute — a flush
             # of B requests is numerically identical to encode_batch on
-            # them.
-            encoded = encoder.pipeline.run(
-                samples, use_template=self.use_template
-            )
+            # them (one vectorized template bind_batch sweep per flush).
+            encoded = pipeline.run(samples, use_template=self.use_template)
         except Exception as exc:
             # The requests are already drained: fail their tickets loudly
             # (result() re-raises) rather than stranding them forever —
@@ -273,6 +274,9 @@ class EncodingService:
         completed_at = self.clock()
         self._template_hits += GLOBAL_TEMPLATE_CACHE.hits - hits0
         self._template_misses += GLOBAL_TEMPLATE_CACHE.misses - misses0
+        # Row-level bind accounting: a batched flush counts one bind per
+        # request, exactly as the per-sample loop would.
+        self._template_binds += pipeline.stats.template_binds - binds_before
         self._flushes += 1
         self._batch_size_sum += len(requests)
         responses = []
@@ -340,6 +344,7 @@ class EncodingService:
             ),
             template_cache_hits=self._template_hits,
             template_cache_misses=self._template_misses,
+            template_binds=self._template_binds,
             per_key_completed=dict(self._per_key_completed),
         )
 

@@ -1,7 +1,12 @@
 """Transpilation: lowering circuits onto hardware backends."""
 
 from repro.transpile.decompositions import decompose_to_cx, expand_cx
-from repro.transpile.euler import physical_1q_cost, synthesize_1q, zyz_decompose
+from repro.transpile.euler import (
+    physical_1q_cost,
+    synthesize_1q,
+    synthesize_1q_batch,
+    zyz_decompose,
+)
 from repro.transpile.layout import Layout
 from repro.transpile.metrics import (
     CircuitMetrics,
@@ -41,6 +46,7 @@ __all__ = [
     "route",
     "schedule_duration",
     "synthesize_1q",
+    "synthesize_1q_batch",
     "translate_1q",
     "transpile",
     "transpile_template",

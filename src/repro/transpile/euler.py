@@ -12,6 +12,10 @@ cost is set by ``theta`` alone:
 This is the same 0/1/2-SX strategy qiskit's
 ``Optimize1qGatesDecomposition`` applies, verified here against dense
 matrices in the test suite.
+
+:func:`synthesize_1q` handles one matrix; :func:`synthesize_1q_batch`
+synthesizes a whole ``(B, 2, 2)`` stack in one sweep with bit-identical
+output per row (the parametric template's batched bind hot path).
 """
 
 from __future__ import annotations
@@ -104,6 +108,18 @@ def _is_zero_angle(angle: float, atol: float) -> bool:
     return abs(_wrap_angle(angle)) <= atol
 
 
+def _wrap_angles(angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_wrap_angle`: map each entry into (-pi, pi].
+
+    Same operation sequence (``fmod``, non-positive shift, subtraction)
+    as the scalar helper, so each entry is bit-identical to
+    ``_wrap_angle`` of the same float — the batched synthesis below
+    relies on that to reproduce the scalar branch-cut behaviour exactly.
+    """
+    wrapped = np.fmod(angles + math.pi, TWO_PI)
+    return np.where(wrapped <= 0.0, wrapped + TWO_PI, wrapped) - math.pi
+
+
 def synthesize_1q(matrix: np.ndarray, atol: float = 1e-9) -> list[NativeOp]:
     """Minimal {rz, sx, x} sequence (circuit order) implementing ``matrix``
     up to global phase."""
@@ -135,6 +151,234 @@ def synthesize_1q(matrix: np.ndarray, atol: float = 1e-9) -> list[NativeOp]:
         ops.append(("sx", ()))
         rz(phi + math.pi)
     return ops
+
+
+#: Parameterless native ops are immutable — emit one shared tuple.
+_SX_OP: NativeOp = ("sx", ())
+
+
+def synthesize_1q_program_batch(
+    matrices: np.ndarray,
+    atol: float = 1e-9,
+    *,
+    drop_identity: bool = False,
+    identity_atol: float = 1e-12,
+    identity_rtol: float = 1e-5,
+) -> list:
+    """Batched ZYZ synthesis in the compact "bind program" encoding.
+
+    The workhorse behind :func:`synthesize_1q_batch` (same numerics,
+    same per-row guarantees — see there).  Each returned row is one of
+
+    * ``None`` — the row was identity up to phase (only with
+      ``drop_identity``) and emits nothing;
+    * a 3-tuple ``(w_lam, w_mid, w_phi)`` — the generic ZXZXZ case,
+      read as ``rz(w_lam) sx rz(w_mid) sx rz(w_phi)`` where a ``NaN``
+      component marks an Rz whose wrapped angle fell below ``atol``
+      and is skipped (``NaN`` cannot be a legitimate wrapped angle, and
+      the marker lets the whole batch be assembled from C-speed
+      ``np.where``/``zip`` passes instead of per-row Python branches);
+    * a ``list[NativeOp]`` — a 0/1-SX special case synthesized by the
+      scalar fallback.
+
+    Hot-loop consumers (the parametric transpile template) emit native
+    instructions straight off this encoding; everyone else should use
+    :func:`synthesize_1q_batch`, which expands it to op lists.
+    """
+    u = np.asarray(matrices, dtype=complex)
+    if u.ndim != 3 or u.shape[1:] != (2, 2):
+        raise TranspilerError(
+            f"expected a (B, 2, 2) matrix stack, got shape {u.shape}"
+        )
+    num_rows = u.shape[0]
+    skeleton: list = [None] * num_rows
+    if num_rows == 0:
+        return skeleton
+    u00, u01 = u[:, 0, 0], u[:, 0, 1]
+    u10, u11 = u[:, 1, 0], u[:, 1, 1]
+    if drop_identity:
+        # merge_1q_runs' identity-up-to-phase replica; |z| is hypot in
+        # both CPython's abs() and np.hypot, so the thresholds agree.
+        diff = u11 - u00
+        dropped = (
+            (np.hypot(u01.real, u01.imag) <= identity_atol)
+            & (np.hypot(u10.real, u10.imag) <= identity_atol)
+            & (
+                np.hypot(diff.real, diff.imag)
+                <= identity_atol
+                + identity_rtol * np.hypot(u00.real, u00.imag)
+            )
+        )
+        if dropped.any():
+            kept = np.flatnonzero(~dropped)
+            if kept.size == 0:
+                return skeleton
+            u00, u01 = u00[kept], u01[kept]
+            u10, u11 = u10[kept], u11[kept]
+        else:
+            kept = None
+    else:
+        kept = None
+    rows = np.arange(num_rows) if kept is None else kept
+    u00r, u00i = np.ascontiguousarray(u00.real), np.ascontiguousarray(u00.imag)
+    u01r, u01i = np.ascontiguousarray(u01.real), np.ascontiguousarray(u01.imag)
+    u10r, u10i = np.ascontiguousarray(u10.real), np.ascontiguousarray(u10.imag)
+    u11r, u11i = np.ascontiguousarray(u11.real), np.ascontiguousarray(u11.imag)
+    # det = u00*u11 - u01*u10 with CPython's complex-product expansion
+    # (two products then a componentwise subtraction, no fusing).
+    det_r = (u00r * u11r - u00i * u11i) - (u01r * u10r - u01i * u10i)
+    det_i = (u00r * u11i + u00i * u11r) - (u01r * u10i + u01i * u10r)
+    if np.any(np.abs(np.hypot(det_r, det_i) - 1.0) > 1e-6):
+        raise TranspilerError("matrix is not unitary (|det| != 1)")
+    # root = cmath.sqrt(det): CPython's c_sqrt algorithm vectorized
+    # (the subnormal/zero branches are unreachable for |det| ~ 1).
+    ax = np.abs(det_r) / 8.0
+    ay = np.abs(det_i)
+    s = 2.0 * np.sqrt(ax + np.hypot(ax, ay / 8.0))
+    d = ay / (2.0 * s)
+    nonneg = det_r >= 0.0
+    root_r = np.where(nonneg, s, d)
+    root_i = np.copysign(np.where(nonneg, d, s), det_i)
+    # su = u / root: CPython's _Py_c_quot (Smith's algorithm), the
+    # shared-denominator work hoisted across the three quotients.
+    cond = np.abs(root_r) >= np.abs(root_i)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(cond, root_i / root_r, root_r / root_i)
+        denom = np.where(cond, root_r + root_i * ratio, root_r * ratio + root_i)
+
+        def quotient(numer_r: np.ndarray, numer_i: np.ndarray):
+            real = np.where(
+                cond, numer_r + numer_i * ratio, numer_r * ratio + numer_i
+            )
+            imag = np.where(
+                cond, numer_i - numer_r * ratio, numer_i * ratio - numer_r
+            )
+            return real / denom, imag / denom
+
+        su00_r, su00_i = quotient(u00r, u00i)
+        su10_r, su10_i = quotient(u10r, u10i)
+        su11_r, su11_i = quotient(u11r, u11i)
+    a00 = np.hypot(su00_r, su00_i)
+    a10 = np.hypot(su10_r, su10_i)
+    # The only remaining scalar work: numpy's arctan2 kernel rounds
+    # differently from libm's atan2 in the last ulp, so the three
+    # atan2-class calls per row (theta and the two cmath.phase values,
+    # which are atan2(imag, real) for finite entries) run through
+    # math.atan2 in tight list comprehensions.
+    atan2 = math.atan2
+    theta = 2.0 * np.asarray(
+        [atan2(y, x) for y, x in zip(a10.tolist(), a00.tolist())]
+    )
+    phase10 = np.asarray(
+        [atan2(y, x) for y, x in zip(su10_i.tolist(), su10_r.tolist())]
+    )
+    phase11 = np.asarray(
+        [atan2(y, x) for y, x in zip(su11_i.tolist(), su11_r.tolist())]
+    )
+    phi_plus_lam = 2.0 * phase11
+    phi_minus_lam = 2.0 * phase10
+    generic = (a00 > 1e-9) & (a10 > 1e-9)
+    phi = np.where(
+        generic,
+        0.5 * (phi_plus_lam + phi_minus_lam),
+        np.where(a10 <= 1e-9, phi_plus_lam, phi_minus_lam),
+    )
+    lam = np.where(generic, 0.5 * (phi_plus_lam - phi_minus_lam), 0.0)
+    # Case masks, replicating the scalar _is_zero_angle cascade.
+    special = (
+        (np.abs(_wrap_angles(theta)) <= atol)
+        | (np.abs(_wrap_angles(theta - math.pi)) <= atol)
+        | (np.abs(_wrap_angles(theta - math.pi / 2.0)) <= atol)
+    )
+    # Vectorized ZXZXZ program assembly for the general rows: below-atol
+    # Rz slots become NaN markers, and zip() builds all row tuples at C
+    # speed.
+    wrapped_lam = _wrap_angles(lam)
+    wrapped_mid = _wrap_angles(theta + math.pi)
+    wrapped_phi = _wrap_angles(phi + math.pi)
+    entries = list(
+        zip(
+            np.where(np.abs(wrapped_lam) > atol, wrapped_lam, np.nan).tolist(),
+            np.where(np.abs(wrapped_mid) > atol, wrapped_mid, np.nan).tolist(),
+            np.where(np.abs(wrapped_phi) > atol, wrapped_phi, np.nan).tolist(),
+        )
+    )
+    if kept is None:
+        program: list = entries
+    else:
+        program = skeleton
+        for j, row in enumerate(kept.tolist()):
+            program[row] = entries[j]
+    if special.any():
+        rows_list = rows.tolist()
+        for j in np.flatnonzero(special).tolist():
+            row = rows_list[j]
+            program[row] = synthesize_1q(u[row], atol)
+    return program
+
+
+def synthesize_1q_batch(
+    matrices: np.ndarray,
+    atol: float = 1e-9,
+    *,
+    drop_identity: bool = False,
+    identity_atol: float = 1e-12,
+    identity_rtol: float = 1e-5,
+) -> "list[list[NativeOp] | None]":
+    """Batched :func:`synthesize_1q` over a ``(B, 2, 2)`` unitary stack.
+
+    Returns one op list per row, **bit-identical** to calling
+    :func:`synthesize_1q` on each slice.  Bit-identity would not
+    survive naive vectorization — numpy's complex multiply/divide and
+    ``arctan2`` kernels round differently from CPython's in the last
+    ulp, and near the ±pi Euler branch cut one ulp flips an emitted Rz
+    sign — so the angle extraction *replicates the scalar operation
+    sequence* with exact real-arithmetic kernels instead: the
+    determinant uses CPython's complex-product expansion componentwise,
+    its square root is CPython's ``cmath.sqrt`` algorithm rebuilt from
+    real ``sqrt``/``hypot``/``copysign``, the SU(2) projection is
+    CPython's Smith-algorithm complex division with the branch select
+    vectorized, and ``|z|`` is ``hypot`` in both worlds.  Only the
+    ``atan2``-class calls (theta and the two ``cmath.phase`` values)
+    stay scalar, in tight ``math.atan2`` list comprehensions.
+    Downstream of the angles, the (-pi, pi] wraps, the 0/1/2-SX case
+    masks and the dominant ZXZXZ emission are vectorized with kernels
+    that are bitwise-identical to the scalar ones (``fmod``,
+    elementwise add/abs, comparisons).  Rows that hit a 0- or 1-SX
+    special case (a masked minority) fall back to the scalar
+    :func:`synthesize_1q` wholesale.
+
+    With ``drop_identity``, rows that are the identity up to global
+    phase — the same entrywise ``allclose`` replica the template's
+    merged-run binding applies (``identity_atol``/``identity_rtol``) —
+    return ``None`` instead of an op list, mirroring how
+    ``merge_1q_runs`` drops such runs entirely; the thresholds agree
+    bit for bit because ``|z|`` is ``hypot`` in both worlds.
+    """
+    program = synthesize_1q_program_batch(
+        matrices,
+        atol,
+        drop_identity=drop_identity,
+        identity_atol=identity_atol,
+        identity_rtol=identity_rtol,
+    )
+    expanded: "list[list[NativeOp] | None]" = []
+    for entry in program:
+        if entry is None or type(entry) is list:
+            expanded.append(entry)
+            continue
+        ops: list[NativeOp] = []
+        w_lam, w_mid, w_phi = entry
+        if w_lam == w_lam:  # NaN marks a skipped Rz slot
+            ops.append(("rz", (w_lam,)))
+        ops.append(_SX_OP)
+        if w_mid == w_mid:
+            ops.append(("rz", (w_mid,)))
+        ops.append(_SX_OP)
+        if w_phi == w_phi:
+            ops.append(("rz", (w_phi,)))
+        expanded.append(ops)
+    return expanded
 
 
 def physical_1q_cost(matrix: np.ndarray, atol: float = 1e-9) -> int:

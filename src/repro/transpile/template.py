@@ -13,10 +13,16 @@ one-qubit lowering stage into a small "bind program".  Per-sample
 transpilation then reduces to :meth:`ParametricTemplate.bind`: substitute
 the sample's angles into the program and re-synthesize only the one-qubit
 runs that contain a parameter (a handful of 2x2 products and ZYZ
-decompositions).  The bound circuit is **instruction-for-instruction
-identical** to what :func:`repro.transpile.transpiler.transpile` would
-produce for the same angles — this is asserted against a reference
-transpile when the template is built.
+decompositions).  :meth:`ParametricTemplate.bind_batch` lowers a whole
+``(B, P)`` angle matrix in one vectorized sweep — stacked ``(B, 2, 2)``
+run compositions and a batched ZYZ resynthesis
+(:func:`repro.transpile.euler.synthesize_1q_batch`) — producing the
+same instruction streams as ``B`` sequential binds at a fraction of the
+cost (the batch-encode and serving fast path).  The bound circuit is
+**instruction-for-instruction identical** to what
+:func:`repro.transpile.transpiler.transpile` would produce for the same
+angles — both bind modes are asserted against a reference transpile
+when the template is built.
 
 Why this is exact: the structural passes (:func:`decompose_to_cx`,
 :func:`cancel_adjacent_cx`, :func:`route`, :func:`expand_cx`) never
@@ -41,7 +47,7 @@ from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.gates import Gate, gate
 from repro.quantum.instruction import Instruction
 from repro.transpile.decompositions import decompose_to_cx, expand_cx
-from repro.transpile.euler import synthesize_1q
+from repro.transpile.euler import synthesize_1q, synthesize_1q_program_batch
 from repro.transpile.passes import cancel_adjacent_cx
 from repro.transpile.routing import route
 from repro.transpile.transpiler import TranspileResult, transpile
@@ -85,19 +91,24 @@ def _rz_matrix_stack(theta: np.ndarray) -> np.ndarray:
     return stack
 
 
+def _rz_matrix_stack_batch(thetas: np.ndarray) -> np.ndarray:
+    """Rz matrices for a whole ``(B, l)`` angle matrix as ``(B, l, 2, 2)``.
+
+    Row ``b`` is entrywise bit-identical to ``_rz_matrix_stack(
+    thetas[b])`` — the same ``0.5j *`` / negate / ``exp`` ufunc sequence
+    runs elementwise over the larger array — so a batched bind composes
+    exactly the matrices the per-sample binds would.
+    """
+    half = 0.5j * thetas
+    stack = np.zeros(thetas.shape + (2, 2), dtype=complex)
+    stack[..., 0, 0] = np.exp(-half)
+    stack[..., 1, 1] = np.exp(half)
+    return stack
+
+
 #: Parameterless native gates are immutable — share one instance each.
 _SX_GATE = gate("sx")
 _X_GATE = gate("x")
-
-
-def _native_instruction(name: str, params: tuple, qubit_tuple: tuple) -> Instruction:
-    if name == "rz":
-        # Lazy matrix: most bound gates are never simulated.
-        return Instruction.trusted(
-            Gate.trusted("rz", 1, params), qubit_tuple
-        )
-    fixed = _SX_GATE if name == "sx" else _X_GATE
-    return Instruction.trusted(fixed, qubit_tuple)
 
 
 class _FixedBlock:
@@ -113,6 +124,19 @@ class _FixedBlock:
     ) -> None:
         out.extend(self.instructions)
 
+    def emit_batch(
+        self,
+        thetas: np.ndarray,
+        rz_stack: np.ndarray,
+        outs: list[list[Instruction]],
+    ) -> None:
+        # Every row extends with the *same* instruction objects: fixed
+        # blocks are immutable, so the batch shares them instead of
+        # rebuilding per-row copies.
+        instructions = self.instructions
+        for out in outs:
+            out.extend(instructions)
+
 
 class _ParametricRun:
     """One merged 1q run containing at least one trainable Rz.
@@ -126,14 +150,30 @@ class _ParametricRun:
     as the full pipeline.  (Pre-folding adjacent fixed matrices would
     change the association order; near the +-pi branch cut of the Euler
     angles that 1-ulp difference flips an Rz sign.)
+
+    :meth:`compose_batch` performs the same composition for all ``B``
+    rows at once as stacked ``(B, 2, 2)`` matmuls.  numpy's matmul runs
+    one inner 2x2 kernel per stack slice — the identical kernel the 2D
+    products above use — so every row's accumulated matrix is
+    bit-identical to its sequential bind, and the batched ZYZ
+    (:func:`repro.transpile.euler.synthesize_1q_batch`, one sweep over
+    all runs of the bind, consumed via :meth:`emit_ops_batch`) then
+    emits exactly the sequential instruction stream.  A fixed prefix of
+    the chain is composed once and broadcast (the association order is
+    unchanged — it is the same product sequence, computed once instead
+    of per row).
     """
 
-    __slots__ = ("qubit", "qubit_tuple", "elements")
+    __slots__ = ("qubit", "qubit_tuple", "elements", "_sx", "_x")
 
     def __init__(self, qubit: int, elements: list) -> None:
         self.qubit = qubit
         self.qubit_tuple = (qubit,)
         self.elements = elements
+        # Parameterless instructions are immutable: all binds (and all
+        # rows of a batched bind) share these two objects.
+        self._sx = Instruction.trusted(_SX_GATE, self.qubit_tuple)
+        self._x = Instruction.trusted(_X_GATE, self.qubit_tuple)
 
     def emit(
         self, theta: np.ndarray, rz_stack: np.ndarray, out: list[Instruction]
@@ -149,8 +189,63 @@ class _ParametricRun:
             matrix = step if matrix is None else step @ matrix
         if _is_identity_up_to_phase(matrix):
             return
-        for name, params in synthesize_1q(matrix):
-            out.append(_native_instruction(name, params, self.qubit_tuple))
+        self._append_ops(synthesize_1q(matrix), out)
+
+    def compose_batch(self, rz_stack: np.ndarray) -> np.ndarray:
+        """The run's merged matrices for all rows, as ``(B, 2, 2)``."""
+        matrix = None
+        for element in self.elements:
+            # Fixed elements stay (2, 2) until the first parameter makes
+            # the product per-row; matmul broadcasting applies the same
+            # 2x2 kernel either way, so each row's product sequence is
+            # the one ``emit`` computes.
+            step = (
+                element
+                if isinstance(element, np.ndarray)
+                else rz_stack[:, element]
+            )
+            matrix = step if matrix is None else step @ matrix
+        return matrix
+
+    def emit_program_batch(
+        self, program_rows: list, outs: list[list[Instruction]]
+    ) -> None:
+        """Emit pre-synthesized compact program rows.
+
+        ``program_rows`` uses the encoding of
+        :func:`repro.transpile.euler.synthesize_1q_program_batch`:
+        ``None`` drops the run, a ``(w_lam, w_mid, w_phi)`` tuple is the
+        generic ZXZXZ pattern with NaN-marked skipped Rz slots, and a
+        plain op list covers the scalar-synthesized special cases.
+        """
+        qubit_tuple = self.qubit_tuple
+        sx = self._sx
+        trusted_rz = Instruction.trusted_rz
+        append_ops = self._append_ops
+        for out, entry in zip(outs, program_rows):
+            if type(entry) is tuple:
+                w_lam, w_mid, w_phi = entry
+                if w_lam == w_lam:  # NaN marks a skipped Rz slot
+                    out.append(trusted_rz(w_lam, qubit_tuple))
+                out.append(sx)
+                if w_mid == w_mid:
+                    out.append(trusted_rz(w_mid, qubit_tuple))
+                out.append(sx)
+                if w_phi == w_phi:
+                    out.append(trusted_rz(w_phi, qubit_tuple))
+            elif entry is not None:
+                append_ops(entry, out)
+
+    def _append_ops(self, ops, out: list[Instruction]) -> None:
+        qubit_tuple = self.qubit_tuple
+        for name, params in ops:
+            if name == "rz":
+                # Lazy matrix: most bound gates are never simulated.
+                out.append(Instruction.trusted_rz(params[0], qubit_tuple))
+            elif name == "sx":
+                out.append(self._sx)
+            else:
+                out.append(self._x)
 
 
 class _ParametricRz:
@@ -165,12 +260,19 @@ class _ParametricRz:
     def emit(
         self, theta: np.ndarray, rz_stack: np.ndarray, out: list[Instruction]
     ) -> None:
-        angle = float(theta[self.param])
         out.append(
-            Instruction.trusted(
-                Gate.trusted("rz", 1, (angle,)), self.qubit_tuple
-            )
+            Instruction.trusted_rz(float(theta[self.param]), self.qubit_tuple)
         )
+
+    def emit_batch(
+        self,
+        thetas: np.ndarray,
+        rz_stack: np.ndarray,
+        outs: list[list[Instruction]],
+    ) -> None:
+        qubit_tuple = self.qubit_tuple
+        for out, angle in zip(outs, thetas[:, self.param].tolist()):
+            out.append(Instruction.trusted_rz(angle, qubit_tuple))
 
 
 class ParametricTemplate:
@@ -230,9 +332,10 @@ class ParametricTemplate:
                 backend.native_gates.one_qubit_gates
                 | backend.native_gates.virtual_gates,
             )
-        self._needs_rz_stack = any(
-            isinstance(step, _ParametricRun) for step in self._program
-        )
+        self._parametric_runs = [
+            step for step in self._program if isinstance(step, _ParametricRun)
+        ]
+        self._needs_rz_stack = bool(self._parametric_runs)
         self._verify_against_reference()
 
     # -- binding -------------------------------------------------------------
@@ -254,9 +357,69 @@ class ParametricTemplate:
         instructions: list[Instruction] = []
         for step in self._program:
             step.emit(theta, rz_stack, instructions)
+        self.num_binds += 1
+        return self._wrap_result(instructions)
+
+    def bind_batch(self, thetas: np.ndarray) -> list[TranspileResult]:
+        """Instantiate the template for a whole ``(B, P)`` angle matrix.
+
+        Lowers the entire batch in one vectorized sweep — one stacked
+        ``(B, P, 2, 2)`` Rz-matrix construction, stacked ``(B, 2, 2)``
+        run compositions, and one batched ZYZ resynthesis per parametric
+        run — instead of ``B`` Python-level :meth:`bind` walks.  The
+        result is **instruction-for-instruction identical** to
+        ``[self.bind(t) for t in thetas]`` (bit-identical angles
+        included: every floating-point kernel in the sweep reproduces
+        the per-sample path exactly — see
+        :func:`repro.transpile.euler.synthesize_1q_batch`), and
+        :attr:`num_binds` advances by ``B``, exactly as the loop would.
+        This is the bind engine behind ``encode_batch`` and the
+        serving layer's micro-batch flushes.
+        """
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        if thetas.ndim != 2 or thetas.shape[1] != self.ansatz.num_parameters:
+            raise TranspilerError(
+                f"thetas must be (B, {self.ansatz.num_parameters}), "
+                f"got {thetas.shape}"
+            )
+        batch = thetas.shape[0]
+        if batch == 0:
+            return []
+        rz_stack = (
+            _rz_matrix_stack_batch(thetas) if self._needs_rz_stack else None
+        )
+        # One ZYZ sweep over every (run, row) pair: each parametric run
+        # composes its (B, 2, 2) stack, and a single batched synthesis
+        # call amortizes the vectorization overhead across all runs
+        # instead of paying it once per run.
+        programs_by_run: dict[int, list] = {}
+        if self._parametric_runs:
+            all_rows = synthesize_1q_program_batch(
+                np.concatenate(
+                    [run.compose_batch(rz_stack) for run in self._parametric_runs]
+                ),
+                drop_identity=True,
+                identity_atol=_IDENTITY_ATOL,
+                identity_rtol=_ALLCLOSE_RTOL,
+            )
+            for index, run in enumerate(self._parametric_runs):
+                programs_by_run[id(run)] = all_rows[
+                    index * batch : (index + 1) * batch
+                ]
+        per_row: list[list[Instruction]] = [[] for _ in range(batch)]
+        for step in self._program:
+            if isinstance(step, _ParametricRun):
+                step.emit_program_batch(programs_by_run[id(step)], per_row)
+            else:
+                step.emit_batch(thetas, rz_stack, per_row)
+        self.num_binds += batch
+        return [self._wrap_result(instructions) for instructions in per_row]
+
+    # -- internals -----------------------------------------------------------
+
+    def _wrap_result(self, instructions: list[Instruction]) -> TranspileResult:
         circuit = QuantumCircuit(self._num_qubits, name=self._name)
         circuit._instructions = instructions
-        self.num_binds += 1
         return TranspileResult(
             circuit=circuit,
             initial_layout=self._initial_layout.copy(),
@@ -264,8 +427,6 @@ class ParametricTemplate:
             backend=self.backend,
             num_swaps_inserted=self._num_swaps,
         )
-
-    # -- internals -----------------------------------------------------------
 
     def _verify_against_reference(self) -> None:
         """Assert bind == full transpile on a reference angle assignment.
@@ -282,10 +443,16 @@ class ParametricTemplate:
             optimization_level=self.optimization_level,
         )
         bound = self.bind(theta_ref)
+        batched = self.bind_batch(theta_ref[None, :])[0]
         self.num_binds = 0
         if list(bound.circuit) != list(reference.circuit):
             raise TranspilerError(
                 "parametric template deviates from the transpile pipeline "
+                f"for {self.ansatz!r} on {self.backend.name!r}"
+            )
+        if list(batched.circuit) != list(bound.circuit):
+            raise TranspilerError(
+                "batched template bind deviates from the per-sample bind "
                 f"for {self.ansatz!r} on {self.backend.name!r}"
             )
         if bound.num_swaps_inserted != reference.num_swaps_inserted:

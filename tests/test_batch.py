@@ -362,3 +362,80 @@ def test_gate_trusted_lazy_matrix():
     eager = gate("rz", 0.37)
     assert lazy == eager
     np.testing.assert_array_equal(lazy.matrix, eager.matrix)
+
+
+# -- the online batch-engine knob (PR 4) ----------------------------------------------
+
+
+def test_online_batch_engine_equivalence(fitted, cluster_data):
+    """Per-row and stacked drives agree on warm-start fine-tunes."""
+    samples = cluster_data[:16]
+    transfer = fitted._transfer
+    original = transfer.batch_engine
+    try:
+        transfer.batch_engine = "rows"
+        rows = fitted.encode_batch(samples)
+        transfer.batch_engine = "stacked"
+        stacked = fitted.encode_batch(samples)
+    finally:
+        transfer.batch_engine = original
+    for a, b in zip(rows, stacked):
+        assert a.cluster_index == b.cluster_index
+        assert abs(a.ideal_fidelity - b.ideal_fidelity) < 1e-9
+        assert a.circuit.count_ops() == b.circuit.count_ops()
+
+
+def test_online_batch_engine_dispatch(fitted, cluster_data, monkeypatch):
+    """The knob routes multi-row fine-tunes to the selected drive."""
+    calls = []
+    original_rows = BatchLBFGSOptimizer.optimize_rows
+    original_stacked = BatchLBFGSOptimizer.optimize
+
+    def spy_rows(self, objective, theta0):
+        calls.append("rows")
+        return original_rows(self, objective, theta0)
+
+    def spy_stacked(self, objective, theta0):
+        calls.append("stacked")
+        return original_stacked(self, objective, theta0)
+
+    monkeypatch.setattr(BatchLBFGSOptimizer, "optimize_rows", spy_rows)
+    monkeypatch.setattr(BatchLBFGSOptimizer, "optimize", spy_stacked)
+    transfer = fitted._transfer
+    original = transfer.batch_engine
+    try:
+        for engine in ("rows", "stacked"):
+            transfer.batch_engine = engine
+            calls.clear()
+            fitted.encode_batch(cluster_data[:3])
+            assert calls == [engine]
+    finally:
+        transfer.batch_engine = original
+
+
+def test_online_batch_engine_validation(segment4):
+    with pytest.raises(OptimizationError):
+        EnQodeConfig(num_qubits=4, online_batch_engine="bogus")
+    from repro.core.transfer import TransferLearner
+
+    ansatz = EnQodeAnsatz(4, 4)
+    with pytest.raises(OptimizationError):
+        TransferLearner(
+            ansatz,
+            SymbolicState.from_ansatz(ansatz),
+            centers=np.eye(16)[:2],
+            cluster_thetas=np.zeros((2, ansatz.num_parameters)),
+            batch_engine="bogus",
+        )
+
+
+def test_pipeline_records_bind_stage_seconds(fitted, cluster_data):
+    """The stats split route/finetune/bind/lower; batched binds land in bind."""
+    pipeline = fitted.pipeline
+    before = pipeline.stats.bind_seconds
+    runs_before = pipeline.stats.runs
+    fitted.encode_batch(cluster_data[:6])
+    assert pipeline.stats.runs == runs_before + 1
+    assert pipeline.stats.bind_seconds > before
+    assert pipeline.stats.route_seconds > 0.0
+    assert pipeline.stats.finetune_seconds > 0.0

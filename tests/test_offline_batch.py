@@ -295,21 +295,25 @@ def test_subset_objective_matches_rows(restart_problem):
 # -- online accounting bugfix ---------------------------------------------------------
 
 
+@pytest.mark.parametrize("engine", ["stacked", "rows"])
 def test_embed_batch_attributes_evaluations_evenly(
-    segment4, blob_data, offline_config, monkeypatch
+    segment4, blob_data, offline_config, monkeypatch, engine
 ):
     """Per-sample num_evaluations sum to the batch total (not B times it)."""
-    encoder = EnQodeEncoder(segment4, EnQodeConfig(**offline_config))
+    encoder = EnQodeEncoder(
+        segment4, EnQodeConfig(online_batch_engine=engine, **offline_config)
+    )
     encoder.fit(blob_data)
     captured = {}
-    original = BatchLBFGSOptimizer.optimize
+    drive = "optimize" if engine == "stacked" else "optimize_rows"
+    original = getattr(BatchLBFGSOptimizer, drive)
 
     def capturing(self, objective, theta0):
         result = original(self, objective, theta0)
         captured["total"] = result.num_evaluations
         return result
 
-    monkeypatch.setattr(BatchLBFGSOptimizer, "optimize", capturing)
+    monkeypatch.setattr(BatchLBFGSOptimizer, drive, capturing)
     outcomes = encoder._transfer.embed_batch(blob_data[:7])
     per_sample = [o.result.num_evaluations for o in outcomes]
     assert sum(per_sample) == captured["total"]

@@ -307,7 +307,33 @@ def test_service_stats_accounting(fitted, cluster_data):
     assert stats.per_key_completed == {0: 10}
     # The template was built (or cache-hit) once per flush.
     assert stats.template_cache_hits + stats.template_cache_misses == 3
+    # Bind accounting is per *row*: a batched flush of B requests counts
+    # B template binds, exactly like B per-sample binds would.
+    assert stats.template_binds == 10
     assert "served in 3 flushes" in stats.summary()
+    assert "10 template binds" in stats.summary()
+
+
+def test_template_binds_counted_per_row(fitted, cluster_data):
+    """Regression: bind counters advance by batch size, not flush count."""
+    pipeline = fitted.pipeline
+    template = pipeline.lower.template()
+    binds_before = template.num_binds
+    stats_before = pipeline.stats.template_binds
+    service = EncodingService(max_batch=8)
+    service.register(0, fitted)
+    for x in cluster_data[:8]:
+        service.submit(x, key=0)  # flushes once, at max_batch
+    assert template.num_binds - binds_before == 8
+    assert pipeline.stats.template_binds - stats_before == 8
+    assert service.stats().template_binds == 8
+    # A full-transpile service never touches the template counters.
+    full = EncodingService(max_batch=4, use_template=False)
+    full.register(0, fitted)
+    for x in cluster_data[:4]:
+        full.submit(x, key=0)
+    assert full.stats().template_binds == 0
+    assert template.num_binds - binds_before == 8
 
 
 # -- the stage pipeline ----------------------------------------------------------------
