@@ -1,15 +1,25 @@
 """Streaming-service throughput: micro-batched submits vs per-sample encode.
 
-Measures the PR-3 tentpole: a stream of one-at-a-time ``EncodingService.
-submit`` calls (batch window 32, size-triggered flushes) must deliver
->= 4x the throughput of the sequential per-sample ``encode`` loop at 6
-qubits, with identical cluster assignments and no fidelity regression —
-the micro-batcher hands streaming traffic the batched stage pipeline
-(stacked fine-tune + cached-template re-bind) that ``encode_batch``
-pioneered, plus p50/p95 end-to-end latency accounting per request.
+Two serving claims are measured and gated here:
+
+* **Streaming throughput** (the PR-3 tentpole): a stream of
+  one-at-a-time ``EncodingService.submit`` calls (batch window 32,
+  size-triggered flushes) must deliver >= 4x the throughput of the
+  sequential per-sample ``encode`` loop at 6 qubits, with identical
+  cluster assignments and no fidelity regression.  The threaded backend
+  is measured alongside (same traffic, background flusher + worker
+  pool) to show the handoff machinery does not tax throughput.
+
+* **Idle-gap latency** (the PR-5 tentpole): bursty traffic with idle
+  gaps between bursts, far below the batch window, under a
+  ``max_delay`` latency deadline.  The sync backend only flushes when
+  some call arrives, so each burst waits a whole gap for the *next*
+  burst's submit (p95 ~ gap); the threaded backend's flusher wakes on
+  the deadline itself and must hold p95 near ``max_delay`` with zero
+  follow-up traffic.
 
 Runs standalone (``PYTHONPATH=src python benchmarks/bench_service_throughput.py``),
-as a CI smoke check (``... --smoke`` — one reduced 4-qubit scenario, no
+as a CI smoke check (``... --smoke`` — reduced 4-qubit scenarios, no
 artifact write), or under pytest; the full run writes the
 ``BENCH_service_throughput.json`` artifact at the repo root so future
 PRs can track the serving-path trajectory.
@@ -41,6 +51,19 @@ GATED_QUBITS = 6
 MIN_SPEEDUP = 4.0
 REPETITIONS = 3
 
+#: Idle-gap scenario shape: bursts far below the batch window, with an
+#: idle gap long against the deadline, so only a self-waking flusher
+#: can honor ``IDLE_MAX_DELAY``.
+IDLE_MAX_DELAY = 0.05
+IDLE_GAP = 0.4
+IDLE_BURST = 3
+IDLE_NUM_BURSTS = 6
+#: The async backend must serve p95 within deadline + one small-batch
+#: flush + scheduling margin; the sync backend is expected to miss by
+#: construction (its first chance to flush a burst is the next burst).
+IDLE_ASYNC_P95_BUDGET = IDLE_MAX_DELAY + 0.10
+IDLE_SYNC_P95_FLOOR = 0.8 * IDLE_GAP
+
 
 def _fitted_encoder(num_qubits: int, num_samples: int):
     # PCA requires at least 2**num_qubits samples.
@@ -64,6 +87,9 @@ def _fitted_encoder(num_qubits: int, num_samples: int):
     return encoder, dataset.amplitudes[:num_samples]
 
 
+# -- streaming throughput --------------------------------------------------------------
+
+
 def _stream_once(
     encoder: EnQodeEncoder, samples: np.ndarray, window: int
 ):
@@ -73,6 +99,19 @@ def _stream_once(
     tickets = [service.submit(x, key="bench") for x in samples]
     service.flush()
     return service, [ticket.result(flush=False) for ticket in tickets]
+
+
+def _stream_once_threaded(
+    encoder: EnQodeEncoder, samples: np.ndarray, window: int
+):
+    """Same traffic through the background flusher + worker pool."""
+    service = EncodingService(max_batch=window, backend="thread", workers=4)
+    service.register("bench", encoder)
+    with service:
+        tickets = [service.submit(x, key="bench") for x in samples]
+        service.drain()
+        responses = [ticket.result(flush=False) for ticket in tickets]
+    return service, responses
 
 
 def _check_equivalence(sequential, responses) -> dict:
@@ -105,9 +144,10 @@ def run_scenario(num_qubits: int, num_samples: int, window: int) -> dict:
     sequential = [encoder.encode(x) for x in samples[:2]]
     _stream_once(encoder, samples[:2], window)
 
-    seq_times, stream_times = [], []
+    seq_times, stream_times, threaded_times = [], [], []
     service = None
     responses = None
+    threaded_responses = None
     for _ in range(REPETITIONS):
         start = time.perf_counter()
         sequential = [encoder.encode(x) for x in samples]
@@ -115,19 +155,31 @@ def run_scenario(num_qubits: int, num_samples: int, window: int) -> dict:
         start = time.perf_counter()
         service, responses = _stream_once(encoder, samples, window)
         stream_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        _, threaded_responses = _stream_once_threaded(
+            encoder, samples, window
+        )
+        threaded_times.append(time.perf_counter() - start)
 
     seq_time = float(np.median(seq_times))
     stream_time = float(np.median(stream_times))
+    threaded_time = float(np.median(threaded_times))
     stats = service.stats()
     assert stats.requests_completed == num_samples
+    threaded_equiv = _check_equivalence(sequential, threaded_responses)
     return {
         "num_samples": num_samples,
         "batch_window": window,
         "sequential_seconds": seq_time,
         "streaming_seconds": stream_time,
+        "threaded_seconds": threaded_time,
         "sequential_samples_per_sec": num_samples / seq_time,
         "streaming_samples_per_sec": num_samples / stream_time,
+        "threaded_samples_per_sec": num_samples / threaded_time,
         "speedup": seq_time / stream_time,
+        "threaded_speedup": seq_time / threaded_time,
+        "threaded_clusters_equal": threaded_equiv["clusters_equal"],
+        "threaded_max_fidelity_diff": threaded_equiv["max_fidelity_diff"],
         "num_flushes": stats.num_flushes,
         "mean_batch_size": stats.mean_batch_size,
         "p50_latency_ms": stats.p50_latency * 1e3,
@@ -139,10 +191,97 @@ def run_scenario(num_qubits: int, num_samples: int, window: int) -> dict:
     }
 
 
+# -- idle-gap latency ------------------------------------------------------------------
+
+
+def _idle_gap_traffic(service, samples, gap, burst, final_poll):
+    """Bursty submits with idle gaps; optionally poll once at the end.
+
+    ``final_poll`` models the sync backend's best case — some late
+    housekeeping call eventually arrives — without giving it traffic
+    during the gaps (where the deadline should have fired).
+    """
+    tickets = []
+    for start in range(0, len(samples), burst):
+        for x in samples[start : start + burst]:
+            tickets.append(service.submit(x, key="bench"))
+        time.sleep(gap)
+    if final_poll:
+        service.poll()
+    return [ticket.result(timeout=10.0) for ticket in tickets]
+
+
+def run_idle_gap_scenario(
+    num_qubits: int,
+    gap: float = IDLE_GAP,
+    burst: int = IDLE_BURST,
+    num_bursts: int = IDLE_NUM_BURSTS,
+    max_delay: float = IDLE_MAX_DELAY,
+) -> dict:
+    encoder, samples = _fitted_encoder(num_qubits, burst * num_bursts)
+    samples = samples[: burst * num_bursts]
+    encoder.encode_batch(samples[:burst])  # warm template + caches
+
+    sync_service = EncodingService(
+        max_batch=BATCH_WINDOW, max_delay=max_delay
+    )
+    sync_service.register("bench", encoder)
+    sync_responses = _idle_gap_traffic(
+        sync_service, samples, gap, burst, final_poll=True
+    )
+
+    async_service = EncodingService(
+        max_batch=BATCH_WINDOW,
+        max_delay=max_delay,
+        backend="thread",
+        workers=2,
+    )
+    async_service.register("bench", encoder)
+    with async_service:
+        async_responses = _idle_gap_traffic(
+            async_service, samples, gap, burst, final_poll=False
+        )
+
+    sync_stats = sync_service.stats()
+    async_stats = async_service.stats()
+    assert sync_stats.requests_completed == len(samples)
+    assert async_stats.requests_completed == len(samples)
+    clusters_equal = all(
+        a.cluster_index == s.cluster_index
+        for a, s in zip(async_responses, sync_responses)
+    )
+    return {
+        "num_samples": len(samples),
+        "burst": burst,
+        "gap_seconds": gap,
+        "max_delay": max_delay,
+        "sync_p50_latency_ms": sync_stats.p50_latency * 1e3,
+        "sync_p95_latency_ms": sync_stats.p95_latency * 1e3,
+        "async_p50_latency_ms": async_stats.p50_latency * 1e3,
+        "async_p95_latency_ms": async_stats.p95_latency * 1e3,
+        "async_flusher_wakeups": async_stats.flusher_wakeups,
+        "async_meets_deadline_budget": bool(
+            async_stats.p95_latency <= IDLE_ASYNC_P95_BUDGET
+        ),
+        "sync_misses_deadline": bool(
+            sync_stats.p95_latency >= IDLE_SYNC_P95_FLOOR
+        ),
+        "clusters_equal": bool(clusters_equal),
+    }
+
+
 def run_benchmark() -> dict:
     return {
-        str(num_qubits): run_scenario(num_qubits, NUM_SAMPLES, BATCH_WINDOW)
-        for num_qubits in QUBIT_COUNTS
+        "streaming": {
+            str(num_qubits): run_scenario(
+                num_qubits, NUM_SAMPLES, BATCH_WINDOW
+            )
+            for num_qubits in QUBIT_COUNTS
+        },
+        "idle_gap": {
+            str(num_qubits): run_idle_gap_scenario(num_qubits)
+            for num_qubits in QUBIT_COUNTS
+        },
     }
 
 
@@ -152,17 +291,30 @@ def publish(results: dict, write_artifact: bool = True) -> None:
             json.dumps(results, indent=2, sort_keys=True) + "\n"
         )
     header = (
-        f"{'qubits':>6} {'seq s/s':>10} {'stream s/s':>11} {'speedup':>8} "
-        f"{'p95 ms':>8} {'fid diff':>10}"
+        f"{'qubits':>6} {'seq s/s':>10} {'stream s/s':>11} {'thread s/s':>11} "
+        f"{'speedup':>8} {'fid diff':>10}"
     )
     print("\n" + header)
-    for qubits, row in sorted(results.items()):
+    for qubits, row in sorted(results.get("streaming", {}).items()):
         print(
             f"{qubits:>6} {row['sequential_samples_per_sec']:>10.1f} "
             f"{row['streaming_samples_per_sec']:>11.1f} "
-            f"{row['speedup']:>7.1f}x {row['p95_latency_ms']:>8.2f} "
-            f"{row['max_fidelity_diff']:>10.1e}"
+            f"{row['threaded_samples_per_sec']:>11.1f} "
+            f"{row['speedup']:>7.1f}x {row['max_fidelity_diff']:>10.1e}"
         )
+    idle = results.get("idle_gap", {})
+    if idle:
+        print(
+            f"{'qubits':>6} {'sync p95 ms':>12} {'async p95 ms':>13} "
+            f"{'deadline ms':>12} {'wakeups':>8}"
+        )
+        for qubits, row in sorted(idle.items()):
+            print(
+                f"{qubits:>6} {row['sync_p95_latency_ms']:>12.1f} "
+                f"{row['async_p95_latency_ms']:>13.1f} "
+                f"{row['max_delay'] * 1e3:>12.1f} "
+                f"{row['async_flusher_wakeups']:>8}"
+            )
     if write_artifact:
         print(f"artifact: {ARTIFACT}")
 
@@ -170,26 +322,53 @@ def publish(results: dict, write_artifact: bool = True) -> None:
 def test_service_throughput():
     results = run_benchmark()
     publish(results)
-    for row in results.values():
+    for row in results["streaming"].values():
         assert row["clusters_equal"]
+        assert row["threaded_clusters_equal"]
         # Streaming may only ever match or beat the sequential optimizer.
         assert row["min_fidelity_advantage"] > -1e-9
     # Strict acceptance gate at the paper-adjacent mid scale: numerically
     # equivalent results and >= 4x streaming throughput at window 32.
-    gated = results[str(GATED_QUBITS)]
+    gated = results["streaming"][str(GATED_QUBITS)]
     assert gated["max_fidelity_diff"] < 1e-9
+    assert gated["threaded_max_fidelity_diff"] < 1e-9
     assert gated["gate_counts_equal"]
     assert gated["speedup"] >= MIN_SPEEDUP
+    # The background flusher's handoff must not tax streaming throughput
+    # below the acceptance bar either.
+    assert gated["threaded_speedup"] >= MIN_SPEEDUP
+    # Idle-gap gate: the async backend honors max_delay on a quiet
+    # queue; the sync backend structurally cannot (it waits for the
+    # next burst's submit), which is the whole case for the backend.
+    for row in results["idle_gap"].values():
+        assert row["clusters_equal"]
+        assert row["async_meets_deadline_budget"], row
+        assert row["sync_misses_deadline"], row
 
 
 def smoke() -> None:
-    """CI guard: one reduced 4-qubit scenario, no artifact write."""
-    results = {"4q_smoke": run_scenario(4, 16, 8)}
+    """CI guard: reduced 4-qubit scenarios, no artifact write."""
+    results = {
+        "streaming": {"4q_smoke": run_scenario(4, 16, 8)},
+        "idle_gap": {
+            "4q_smoke": run_idle_gap_scenario(
+                4, gap=0.3, burst=2, num_bursts=3, max_delay=0.04
+            )
+        },
+    }
     publish(results, write_artifact=False)
-    row = results["4q_smoke"]
+    row = results["streaming"]["4q_smoke"]
     assert row["clusters_equal"]
+    assert row["threaded_clusters_equal"]
     assert row["max_fidelity_diff"] < 1e-9
+    assert row["threaded_max_fidelity_diff"] < 1e-9
     assert row["num_flushes"] == 2  # 16 submits through window 8
+    idle = results["idle_gap"]["4q_smoke"]
+    assert idle["clusters_equal"]
+    # Loose smoke bounds (CI machines jitter): the async backend must
+    # still beat the burst gap by a wide margin while sync waits it out.
+    assert idle["async_p95_latency_ms"] < 0.5 * idle["gap_seconds"] * 1e3
+    assert idle["sync_p95_latency_ms"] > 0.5 * idle["gap_seconds"] * 1e3
     print("service throughput smoke: ok")
 
 

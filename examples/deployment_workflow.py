@@ -11,7 +11,16 @@ workflow end to end on the service API:
    :class:`repro.service.EncodingService`, stream samples through the
    micro-batcher (auto-routing samples of unknown class to the nearest
    model), read the embedded states out with finite shots and calibrated
-   readout error, and print the service's latency/fidelity accounting.
+   readout error, and print the service's latency/fidelity accounting;
+3. async service — the same registry behind the ``backend="thread"``
+   execution backend: ``start()`` the background flusher + worker pool,
+   submit from several producer threads at once, collect responses with
+   ``ticket.result(timeout=...)``, and ``stop()`` cleanly.  The
+   difference from step 2: the ``max_delay`` latency deadline fires on
+   an *idle* queue (the flusher sleeps until exactly the deadline — no
+   follow-up traffic or polling needed), and different classes' flushes
+   run concurrently while each class's requests still complete in
+   submission order (one in-flight flush per key).
 
 (The pre-service ``PerClassEnQode.encode_auto`` path still exists as a
 deprecated shim; the service applies the same nearest-class routing rule
@@ -22,6 +31,7 @@ Run:  python examples/deployment_workflow.py
 
 import pathlib
 import tempfile
+import threading
 
 import numpy as np
 
@@ -100,6 +110,58 @@ def online_service(backend, dataset, model_dir: pathlib.Path) -> None:
     print(f"  service: {service.stats().summary()}")
 
 
+def async_online_service(backend, dataset, model_dir: pathlib.Path) -> None:
+    """Serve concurrent producers through the threaded backend."""
+    # backend="thread" adds a daemon flusher (wakes on the earliest
+    # pending max_delay deadline and on full queues) and a small worker
+    # pool (flushes for different classes run concurrently).  The
+    # context manager start()s the threads and stop()s them with a full
+    # drain on exit; submit() is safe from any thread.
+    service = EncodingService(
+        max_batch=4, max_delay=0.05, backend="thread", workers=2
+    )
+    for path in sorted(model_dir.glob("enqode_class*.json")):
+        label = int(path.stem.replace("enqode_class", ""))
+        service.load(label, path, backend)
+
+    rng = np.random.default_rng(1)
+    tickets: dict = {label: [] for label in service.keys()}
+    with service:
+
+        def produce(label) -> None:
+            # One producer per class, racing each other into the
+            # micro-batcher; per-class order is preserved end to end.
+            rows = dataset.class_slice(label)
+            for _ in range(6):
+                sample = rows[int(rng.integers(20))]
+                tickets[label].append(service.submit(sample, key=label))
+
+        producers = [
+            threading.Thread(target=produce, args=(label,))
+            for label in service.keys()
+        ]
+        for thread in producers:
+            thread.start()
+        for thread in producers:
+            thread.join()
+        # A trickle never strands: even with no further traffic the
+        # flusher serves every queue within max_delay.  result() blocks
+        # on the ticket's event with a timeout instead of flushing
+        # inline — the worker pool does the encoding.
+        for label, owned in tickets.items():
+            latencies = [
+                ticket.result(timeout=5.0).latency * 1e3 for ticket in owned
+            ]
+            print(
+                f"  class {label}: {len(owned)} requests, "
+                f"worst latency {max(latencies):.0f} ms "
+                f"(deadline {service.batcher.max_delay * 1e3:.0f} ms)"
+            )
+        print(f"  service: {service.stats().summary()}")
+    # stop() (via the context manager) drained the queues and joined the
+    # flusher + workers; submits would now raise ServiceError.
+
+
 def main() -> None:
     backend = brisbane_linear_segment(8)
     # PCA to 256 features needs at least 256 samples: 3 classes x 90.
@@ -110,6 +172,8 @@ def main() -> None:
         offline_job(backend, dataset, model_dir)
         print("online service:")
         online_service(backend, dataset, model_dir)
+        print("async online service:")
+        async_online_service(backend, dataset, model_dir)
 
 
 if __name__ == "__main__":

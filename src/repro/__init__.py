@@ -48,6 +48,7 @@ from repro.core import (
     EncodePipeline,
     EnQodeAnsatz,
     EnQodeConfig,
+    ServiceConfig,
     EnQodeEncoder,
     EncodedSample,
     FidelityObjective,
@@ -87,6 +88,7 @@ __all__ = [
     "EncodingService",
     "EnQodeAnsatz",
     "EnQodeConfig",
+    "ServiceConfig",
     "EnQodeEncoder",
     "FakeBrisbane",
     "FidelityObjective",

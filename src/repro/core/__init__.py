@@ -15,7 +15,7 @@ from repro.core.clustering import (
     nearest_centers,
     select_num_clusters,
 )
-from repro.core.config import EnQodeConfig
+from repro.core.config import EnQodeConfig, ServiceConfig
 from repro.core.encoder import (
     ClusterModel,
     EncodedSample,
@@ -59,6 +59,7 @@ __all__ = [
     "RouteStage",
     "EnQodeAnsatz",
     "EnQodeConfig",
+    "ServiceConfig",
     "EnQodeEncoder",
     "EncodedSample",
     "FidelityObjective",

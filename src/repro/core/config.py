@@ -1,10 +1,10 @@
-"""Configuration dataclass for the EnQode encoder."""
+"""Configuration dataclasses for the EnQode encoder and serving layer."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, ServiceError
 
 
 @dataclass(frozen=True)
@@ -134,3 +134,60 @@ class EnQodeConfig:
     @property
     def num_amplitudes(self) -> int:
         return 2**self.num_qubits
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the :class:`repro.service.EncodingService` front end.
+
+    Attributes
+    ----------
+    backend:
+        Execution backend for micro-batch flushes.  ``"sync"`` (the
+        default) flushes inline from ``submit``/``poll``/``flush`` calls
+        — deterministic and single-threaded, but the ``max_delay``
+        deadline only fires when some call happens to arrive.
+        ``"thread"`` runs a daemon flusher thread that wakes on the
+        earliest pending deadline and on full-queue events, plus a
+        worker pool of ``workers`` threads executing flushes for
+        different keys concurrently; the service must be
+        ``start()``-ed before submitting and ``stop()``-ed when done.
+    workers:
+        Worker-pool size for the ``"thread"`` backend (ignored by
+        ``"sync"``).  At most one flush per registry key — and at most
+        one flush per underlying encoder pipeline — is in flight at any
+        time, so a key's requests complete in submission order and every
+        flush is instruction-identical to ``encode_batch`` on the same
+        samples; ``workers`` bounds how many *different* keys encode
+        concurrently.
+    max_batch:
+        Size trigger: a key's queue reaching this many pending requests
+        is flushed immediately.
+    max_delay:
+        Optional latency deadline in seconds: a queue whose oldest
+        request has waited this long is flushed — at the next
+        ``submit``/``poll`` under the sync backend, by the background
+        flusher (without requiring traffic) under the thread backend.
+        ``None`` disables the deadline.
+    use_template:
+        Lower flushes via the cached parametric transpile template (the
+        fast path) or full per-sample transpiles (escape hatch).
+    """
+
+    backend: str = "sync"
+    workers: int = 4
+    max_batch: int = 32
+    max_delay: "float | None" = None
+    use_template: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("sync", "thread"):
+            raise ServiceError(
+                f"backend must be 'sync' or 'thread', got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if self.max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if self.max_delay is not None and self.max_delay < 0.0:
+            raise ServiceError("max_delay must be non-negative (or None)")

@@ -31,6 +31,7 @@ are numerically identical to the pre-pipeline code paths they replaced.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -43,7 +44,10 @@ from repro.errors import OptimizationError
 from repro.hardware.backend import Backend
 from repro.quantum.circuit import QuantumCircuit
 from repro.transpile.metrics import CircuitMetrics
-from repro.transpile.template import ParametricTemplate
+from repro.transpile.template import (
+    GLOBAL_TEMPLATE_CACHE,
+    ParametricTemplate,
+)
 from repro.transpile.transpiler import (
     TranspileResult,
     transpile,
@@ -181,6 +185,17 @@ class LowerStage:
             self.ansatz, self.backend, self.optimization_level
         )
 
+    def template_reported(self) -> "tuple[ParametricTemplate, bool]":
+        """The cached template plus whether the fetch was a cache hit.
+
+        Concurrent service flushes attribute hits/misses per run through
+        this flag instead of diffing the global cache counters (which
+        races across threads).
+        """
+        return GLOBAL_TEMPLATE_CACHE.get_reported(
+            self.ansatz, self.backend, self.optimization_level
+        )
+
     def run(self, logical: QuantumCircuit) -> TranspileResult:
         return transpile(
             logical,
@@ -218,6 +233,29 @@ class PipelineStats:
     )
 
 
+@dataclass
+class PipelineRunReport:
+    """Per-run stage accounting for one :meth:`EncodePipeline.run`.
+
+    Each run accumulates its own report and applies it to the shared
+    :class:`PipelineStats` in a single locked step when it completes, so
+    concurrent runs (service worker-pool flushes sharing one pipeline)
+    never interleave half-applied counters, and callers can read *this
+    run's* contribution directly instead of diffing the shared totals
+    (which races when flushes overlap).  ``template_hit`` is ``None``
+    for full-transpile runs, else whether the template fetch hit the
+    process-wide cache.
+    """
+
+    batch_size: int = 0
+    route_seconds: float = 0.0
+    finetune_seconds: float = 0.0
+    bind_seconds: float = 0.0
+    lower_seconds: float = 0.0
+    template_binds: int = 0
+    template_hit: "bool | None" = None
+
+
 class EncodePipeline:
     """The composed route → finetune → bind → lower online pipeline.
 
@@ -241,6 +279,13 @@ class EncodePipeline:
         self.bind = BindStage(ansatz)
         self.lower = LowerStage(ansatz, backend, optimization_level)
         self.stats = PipelineStats()
+        # Guards stats application only.  The stages themselves are
+        # re-entrant — every run builds its own objective/optimizer/plan
+        # objects and the template cache has its own lock — so the
+        # service's thread backend may run flushes for different keys
+        # through one pipeline concurrently without corrupting results;
+        # this lock just keeps the shared counters whole-flush-atomic.
+        self._stats_lock = threading.Lock()
 
     @property
     def transfer(self) -> TransferLearner:
@@ -268,7 +313,13 @@ class EncodePipeline:
     def run(
         self, samples: np.ndarray, use_template: bool = True
     ) -> list[EncodedSample]:
-        """Drive ``samples`` through all four stages.
+        """Drive ``samples`` through all four stages (see ``run_reported``)."""
+        return self.run_reported(samples, use_template=use_template)[0]
+
+    def run_reported(
+        self, samples: np.ndarray, use_template: bool = True
+    ) -> "tuple[list[EncodedSample], PipelineRunReport]":
+        """Drive ``samples`` through all four stages, with a run report.
 
         With ``use_template`` the whole batch lowers through one
         vectorized :meth:`ParametricTemplate.bind_batch` sweep over the
@@ -281,10 +332,16 @@ class EncodePipeline:
         miss, and the batched bind sweep in template mode) plus any
         per-sample lowering time, so it sums back to actual wall time
         over the batch.
+
+        The returned :class:`PipelineRunReport` is this run's own stage
+        accounting; the shared :attr:`stats` totals absorb it in one
+        locked step at the end, so overlapping runs from the service's
+        worker pool stay whole-flush-atomic.
         """
         samples = self.prepare(samples)
+        report = PipelineRunReport(batch_size=samples.shape[0])
         if samples.shape[0] == 0:
-            return []
+            return [], report
         with Timer() as route_timer:
             plan = self.route.run(samples)
         with Timer() as tune_timer:
@@ -292,7 +349,10 @@ class EncodePipeline:
         with Timer() as template_timer:
             # On a cold cache this pays the one-time structural transpile;
             # its cost is amortized into every sample's compile_time below.
-            template = self.lower.template() if use_template else None
+            if use_template:
+                template, report.template_hit = self.lower.template_reported()
+            else:
+                template = None
         shared_time = (
             route_timer.elapsed + tune_timer.elapsed + template_timer.elapsed
         ) / len(outcomes)
@@ -309,7 +369,7 @@ class EncodePipeline:
                 transpiled_batch = template.bind_batch(thetas)
             bind_seconds = bind_timer.elapsed
             bind_share = bind_timer.elapsed / len(outcomes)
-            self.stats.template_binds += len(outcomes)
+            report.template_binds = len(outcomes)
             for sample, outcome, transpiled in zip(
                 samples, outcomes, transpiled_batch
             ):
@@ -351,14 +411,20 @@ class EncodePipeline:
                         logical=logical,
                     )
                 )
-        self.stats.runs += 1
-        self.stats.samples += len(encoded)
-        self.stats.route_seconds += route_timer.elapsed
-        self.stats.finetune_seconds += tune_timer.elapsed
-        self.stats.bind_seconds += bind_seconds
-        self.stats.lower_seconds += lower_seconds
-        self.stats.batch_sizes.append(len(encoded))
-        return encoded
+        report.route_seconds = route_timer.elapsed
+        report.finetune_seconds = tune_timer.elapsed
+        report.bind_seconds = bind_seconds
+        report.lower_seconds = lower_seconds
+        with self._stats_lock:
+            self.stats.runs += 1
+            self.stats.samples += len(encoded)
+            self.stats.route_seconds += report.route_seconds
+            self.stats.finetune_seconds += report.finetune_seconds
+            self.stats.bind_seconds += report.bind_seconds
+            self.stats.lower_seconds += report.lower_seconds
+            self.stats.template_binds += report.template_binds
+            self.stats.batch_sizes.append(len(encoded))
+        return encoded, report
 
     def __repr__(self) -> str:
         return (
@@ -374,6 +440,7 @@ __all__ = [
     "EncodedSample",
     "FinetuneStage",
     "LowerStage",
+    "PipelineRunReport",
     "PipelineStats",
     "RoutePlan",
     "RouteStage",

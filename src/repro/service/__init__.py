@@ -13,13 +13,21 @@ package is that serving surface:
 * :class:`EncodingService` — the front end: typed
   :class:`EncodeRequest`/:class:`EncodeResponse` records, automatic
   nearest-model routing, and :class:`ServiceStats` accounting
-  (p50/p95 latency, evals/sample, template-cache hits).
+  (p50/p95 latency, evals/sample, template-cache hits);
+* :class:`ThreadBackend` — the ``backend="thread"`` execution engine
+  (selected via :class:`repro.core.config.ServiceConfig`): a daemon
+  flusher thread that honors the ``max_delay`` deadline with zero
+  follow-up traffic plus a worker pool flushing different keys
+  concurrently, with one flush in flight per key so responses stay
+  instruction-identical to the synchronous path.
 
 Every flush executes the same :class:`repro.core.pipeline.
 EncodePipeline` stage objects as ``EnQodeEncoder.encode_batch``, so
 service results are numerically identical to the big-batch path.
 """
 
+from repro.core.config import ServiceConfig
+from repro.service.async_service import ThreadBackend
 from repro.service.batcher import MicroBatcher
 from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
 from repro.service.registry import EncoderRegistry
@@ -32,5 +40,7 @@ __all__ = [
     "EncoderRegistry",
     "EncodingService",
     "MicroBatcher",
+    "ServiceConfig",
     "ServiceStats",
+    "ThreadBackend",
 ]

@@ -1,0 +1,393 @@
+"""Threaded execution backend: background flusher + worker pool.
+
+The default service backend is synchronous — flush triggers only fire
+inside ``submit``/``poll`` calls, so with idle traffic the ``max_delay``
+deadline is a promise nobody keeps.  :class:`ThreadBackend` makes the
+service honor it unconditionally:
+
+* a daemon **flusher** thread sleeps until the earliest pending
+  deadline (``MicroBatcher.next_deadline``) or until woken by a
+  full-queue / forced-flush / shutdown event — it never polls on a
+  fixed interval, so an idle service costs zero CPU;
+* a small **worker pool** executes the dispatched flushes, so slow
+  fine-tunes for one registry key don't head-of-line-block another
+  key's traffic.
+
+Correctness invariants
+----------------------
+*One flush in flight per key.*  The flusher never dispatches a key that
+already has a flush executing, so a key's requests complete strictly in
+submission order and every micro-batch is a contiguous FIFO slice of
+that key's traffic — which is what makes threaded serving
+instruction-identical to a synchronous ``encode_batch`` replay of the
+same per-key stream.
+
+*One flush in flight per pipeline.*  Two keys may share one encoder
+(aliases of the same model).  Key-level exclusion alone would then run
+one :class:`~repro.core.pipeline.EncodePipeline` concurrently with
+itself; the stages are re-entrant, but serializing per pipeline keeps
+the batch partition — and therefore the per-sample numerics — a pure
+function of each key's arrival order, independent of scheduling.
+
+*Errors stay per-flush.*  A failing flush fails exactly its own
+tickets (``EncodeTicket.result`` re-raises); the flusher, the pool, and
+every other key's traffic keep running.
+
+All mutable state (queues, tickets, in-flight sets, stats) is guarded
+by the owning service's single lock; both condition variables share it,
+so every predicate check is atomic with the sleep that follows it.
+Flush execution itself happens outside the lock — only dispatch and
+completion bookkeeping serialize.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import ServiceError
+
+#: Lifecycle states.  NEW -> (start) -> RUNNING -> (stop) -> STOPPING
+#: -> STOPPED -> (start) -> RUNNING ...  STOPPING only exists inside
+#: ``stop``/``drain``-style waits; submissions are rejected outside
+#: RUNNING.
+_NEW = "new"
+_RUNNING = "running"
+_STOPPING = "stopping"
+_STOPPED = "stopped"
+
+#: How long ``stop`` waits for each thread to exit before declaring the
+#: backend wedged.  A healthy flush finishes in milliseconds; a join
+#: timing out means a flush deadlocked, and raising beats hanging CI.
+_JOIN_TIMEOUT = 30.0
+
+
+class ThreadBackend:
+    """Background flusher + worker pool for one :class:`EncodingService`.
+
+    Created by ``EncodingService(backend="thread", workers=N)``; not
+    constructed directly.  Shares the service's lock: the two condition
+    variables below are views onto it, so batcher/ticket/stats access
+    and backend scheduling state always change under one mutex.
+    """
+
+    def __init__(self, service, workers: int) -> None:
+        self.service = service
+        self.num_workers = workers
+        #: Wakes the flusher (new request, forced flush, task done,
+        #: lifecycle change) and the workers (task queued, shutdown).
+        self._work = threading.Condition(service._lock)
+        #: Wakes quiescence waiters: ``drain``/``stop``/``flush``.
+        self._idle = threading.Condition(service._lock)
+        self._state = _NEW
+        self._tasks: "deque[tuple[object, list, int | None]]" = deque()
+        self._inflight_keys: set = set()
+        self._inflight_pipelines: set = set()
+        self._forced: set = set()
+        #: While > 0 a drain() is waiting for quiescence, and the
+        #: flusher dispatches every pending key unconditionally — also
+        #: traffic that arrives *during* the drain, which a one-shot
+        #: forced-key snapshot would strand (and deadlock the drain).
+        self._drain_waiters = 0
+        self._threads: list[threading.Thread] = []
+        #: Times the flusher returned from its wait (for the no-busy-wait
+        #: tests and ``ServiceStats.flusher_wakeups``): an idle or
+        #: deadline-sleeping flusher wakes O(events) times, a spinning
+        #: one diverges.
+        self.flusher_wakeups = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._state == _RUNNING
+
+    def start(self) -> None:
+        """Spawn the flusher and worker threads; idempotent-hostile.
+
+        Starting a running backend raises (a double ``start`` is a
+        lifecycle bug, not a no-op); restarting after ``stop`` is fine.
+        """
+        with self._work:
+            if self._state in (_RUNNING, _STOPPING):
+                raise ServiceError(
+                    "thread backend is already running; stop() it before "
+                    "starting again"
+                )
+            self._state = _RUNNING
+            self._tasks.clear()
+            self._inflight_keys.clear()
+            self._inflight_pipelines.clear()
+            self._forced.clear()
+            self.flusher_wakeups = 0
+            self._threads = [
+                threading.Thread(
+                    target=self._flusher_loop,
+                    name="enqode-flusher",
+                    daemon=True,
+                )
+            ]
+            self._threads += [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"enqode-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.num_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+
+    def stop(self, drain: bool = True, timeout: "float | None" = None) -> None:
+        """Shut the backend down; no-op if never started / already stopped.
+
+        With ``drain`` (default) every queued request is flushed first —
+        partial batches included — so no ticket is left pending.  With
+        ``drain=False`` queued-but-undispatched requests are *rejected*
+        (their tickets fail with :class:`ServiceError`); flushes already
+        executing still run to completion — a half-done pipeline run
+        cannot be safely abandoned — and their tickets resolve normally.
+        """
+        with self._work:
+            if self._state in (_NEW, _STOPPED):
+                return
+            if drain:
+                self._state = _STOPPING  # flusher now force-flushes all
+                self._work.notify_all()
+                self._await_quiescent(timeout, "stop(drain=True)")
+            else:
+                self._state = _STOPPING  # flusher stops dispatching new work
+                self._reject_pending()
+                self._work.notify_all()
+                self._await_quiescent(timeout, "stop(drain=False)")
+            self._state = _STOPPED
+            self._work.notify_all()
+            self._idle.notify_all()
+            threads, self._threads = self._threads, []
+        for thread in threads:
+            thread.join(timeout=_JOIN_TIMEOUT)
+            if thread.is_alive():
+                raise ServiceError(
+                    f"backend thread {thread.name!r} did not exit within "
+                    f"{_JOIN_TIMEOUT}s of stop(); a flush is likely wedged"
+                )
+
+    def drain(self, timeout: "float | None" = None) -> None:
+        """Flush everything pending (partials included) and block until
+        the service is quiescent: no queued requests, no dispatched
+        tasks, no in-flight flushes.  Traffic submitted *while* draining
+        is drained too — quiescence is a property of the service, not a
+        snapshot.  The backend keeps running afterwards.
+        """
+        with self._work:
+            if self._state != _RUNNING:
+                raise ServiceError(
+                    "cannot drain a thread backend that is not running"
+                )
+            self._drain_waiters += 1
+            try:
+                self._work.notify_all()
+                self._await_quiescent(timeout, "drain()")
+            finally:
+                self._drain_waiters -= 1
+
+    def flush_key(self, key, timeout: "float | None" = None) -> None:
+        """Force-flush one key's queue and wait until it is served."""
+        with self._work:
+            if self._state != _RUNNING:
+                raise ServiceError(
+                    "cannot flush a thread backend that is not running"
+                )
+            self._forced.add(key)
+            self._work.notify_all()
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            while (
+                self.service.batcher.pending(key)
+                or key in self._inflight_keys
+            ):
+                if not self._wait_idle(deadline):
+                    raise ServiceError(
+                        f"flush of key {key!r} did not complete within "
+                        f"{timeout}s"
+                    )
+
+    def kick(self) -> None:
+        """Wake the flusher so it re-reads the clock and the queues.
+
+        This is how an injected fake clock advances the deadline logic
+        deterministically (``service.poll()`` kicks), and how ``submit``
+        announces new work.
+        """
+        with self._work:
+            self._work.notify_all()
+
+    # -- quiescence waits ----------------------------------------------------------
+
+    def _pending_work(self) -> bool:
+        return bool(
+            self.service.batcher.pending()
+            or self._tasks
+            or self._inflight_keys
+        )
+
+    def _wait_idle(self, deadline: "float | None") -> bool:
+        if deadline is None:
+            self._idle.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0.0:
+            return False
+        return self._idle.wait(timeout=remaining)
+
+    def _await_quiescent(self, timeout: "float | None", what: str) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._pending_work():
+            if not self._wait_idle(deadline):
+                raise ServiceError(
+                    f"{what} did not reach quiescence within {timeout}s "
+                    f"({self.service.batcher.pending()} queued, "
+                    f"{len(self._inflight_keys)} in flight)"
+                )
+            # New arrivals during the wait flush too: STOPPING and an
+            # active drain waiter both make _dispatch unconditional, so
+            # this loop only re-checks the predicate.
+
+    def _reject_pending(self) -> None:
+        """Fail every queued-but-undispatched ticket (stop without drain)."""
+        service = self.service
+        for key in list(service.batcher.pending_keys()):
+            while service.batcher.pending(key):
+                for request in service.batcher.drain(key):
+                    ticket = service._tickets.pop(request.request_id, None)
+                    error = ServiceError(
+                        f"request {request.request_id} rejected: service "
+                        "stopped without draining"
+                    )
+                    if ticket is not None:
+                        ticket._fail(error)
+                    service._failed += 1
+
+    # -- the flusher ---------------------------------------------------------------
+
+    def _flusher_loop(self) -> None:
+        with self._work:
+            while self._state != _STOPPED:
+                now = self.service.clock()
+                self._dispatch(now)
+                if not self._pending_work():
+                    self._idle.notify_all()
+                # Sleep until the earliest deadline a *dispatchable* key
+                # could hit; blocked keys wake us via _task_done, new
+                # work and lifecycle changes via notify_all.  With no
+                # armed deadline this blocks indefinitely — the no-
+                # busy-wait guarantee.
+                deadline = self.service.batcher.next_deadline(
+                    exclude=self._undispatchable_keys()
+                )
+                timeout = (
+                    None if deadline is None else max(deadline - now, 0.0)
+                )
+                self._work.wait(timeout)
+                self.flusher_wakeups += 1
+
+    def _dispatch(self, now: float) -> None:
+        """Hand every triggered, non-busy key's batch to the worker pool."""
+        service = self.service
+        batcher = service.batcher
+        due = set(batcher.due_keys(now))
+        dispatched = False
+        for key in list(batcher.pending_keys()):
+            if key in self._inflight_keys:
+                continue
+            triggered = (
+                batcher.pending(key) >= batcher.max_batch
+                or key in due
+                or key in self._forced
+                or self._drain_waiters > 0
+                or self._state == _STOPPING
+            )
+            if not triggered:
+                continue
+            pipeline_id = self._pipeline_id(key)
+            if pipeline_id in self._inflight_pipelines:
+                continue  # shares an encoder with a busy key: next round
+            requests = batcher.drain(key)  # caps at max_batch
+            if not requests:
+                continue
+            self._inflight_keys.add(key)
+            if pipeline_id is not None:
+                self._inflight_pipelines.add(pipeline_id)
+            if not batcher.pending(key):
+                self._forced.discard(key)  # fully served; else next round
+            self._tasks.append((key, requests, pipeline_id))
+            dispatched = True
+        if dispatched:
+            self._work.notify_all()
+
+    def _undispatchable_keys(self) -> set:
+        """Keys that cannot dispatch right now: busy, or pipeline-blocked.
+
+        Used as the ``next_deadline`` exclusion.  A key whose *alias*
+        (same encoder, different key) has a flush in flight is just as
+        undispatchable as an in-flight key — leaving it in would clamp
+        the flusher's sleep to an already-elapsed deadline and spin the
+        loop at zero timeout until the alias completes; the completion
+        notification is what should (and does) wake us instead.
+        """
+        blocked = set(self._inflight_keys)
+        if self._inflight_pipelines:
+            for key in self.service.batcher.pending_keys():
+                if key in blocked:
+                    continue
+                if self._pipeline_id(key) in self._inflight_pipelines:
+                    blocked.add(key)
+        return blocked
+
+    def _pipeline_id(self, key) -> "int | None":
+        """Identity of the key's pipeline, or None if unresolvable.
+
+        An unknown key or an unfit encoder still dispatches — the worker
+        fails those tickets with the real error instead of the flusher
+        silently wedging the queue.
+        """
+        try:
+            return id(self.service.registry.get(key).pipeline)
+        except Exception:
+            return None
+
+    # -- the workers ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        service = self.service
+        while True:
+            with self._work:
+                while not self._tasks and self._state != _STOPPED:
+                    self._work.wait()
+                if not self._tasks:
+                    return  # stopped and drained
+                key, requests, pipeline_id = self._tasks.popleft()
+            try:
+                # reraise=False: the flush routes its exception into the
+                # affected tickets; nothing may escape and kill the pool.
+                service._execute_flush(key, requests, reraise=False)
+            finally:
+                with self._work:
+                    self._inflight_keys.discard(key)
+                    self._inflight_pipelines.discard(pipeline_id)
+                    # The freed key may have queued a follow-up batch,
+                    # and quiescence waiters need a look either way.
+                    self._work.notify_all()
+                    self._idle.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreadBackend(state={self._state!r}, "
+            f"workers={self.num_workers}, "
+            f"inflight={len(self._inflight_keys)})"
+        )
+
+
+__all__ = ["ThreadBackend"]

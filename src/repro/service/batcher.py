@@ -11,11 +11,16 @@ micro-batcher bridges the two with the classic serving trade-off:
   opportunity (a trickle of traffic is never stranded waiting for a
   full batch).
 
-The batcher is deliberately synchronous and clock-injected: triggers
-fire inside :meth:`repro.service.EncodingService.submit` /
-:meth:`~repro.service.EncodingService.poll` calls, which keeps the
-service single-threaded, deterministic (the equivalence suites depend
-on that), and trivially testable with a fake clock.
+The batcher itself is passive and clock-injected: it never sleeps or
+spawns threads, it just answers "what is due *now*".  Under the default
+``"sync"`` service backend triggers fire inside
+:meth:`repro.service.EncodingService.submit` /
+:meth:`~repro.service.EncodingService.poll` calls (single-threaded,
+deterministic, trivially testable with a fake clock); under the
+``"thread"`` backend a background flusher consults :meth:`due_keys` /
+:meth:`next_deadline` to sleep exactly until the earliest pending
+deadline.  The batcher does no locking of its own — the owning service
+serializes access under its lock.
 """
 
 from __future__ import annotations
@@ -51,7 +56,13 @@ class MicroBatcher:
     # -- flush triggers ------------------------------------------------------------
 
     def due_keys(self, now: float) -> list:
-        """Keys whose oldest request has exceeded the latency deadline."""
+        """Keys whose oldest request has reached the latency deadline.
+
+        A deadline landing *exactly* at ``now`` is due (``>=``), so a
+        flusher that slept precisely until :meth:`next_deadline` always
+        finds the key it woke for — never a zero-second re-sleep loop.
+        ``max_delay == 0.0`` means "due at the first opportunity".
+        """
         if self.max_delay is None:
             return []
         return [
@@ -59,6 +70,26 @@ class MicroBatcher:
             for key, queue in self._queues.items()
             if queue and now - queue[0].submitted_at >= self.max_delay
         ]
+
+    def next_deadline(self, exclude=()) -> "float | None":
+        """Absolute time the earliest pending deadline expires.
+
+        ``None`` when no deadline is armed — ``max_delay`` unset, or
+        every queue empty — which tells a background flusher to block
+        indefinitely until new work arrives instead of busy-polling.
+        Keys in ``exclude`` (e.g. those with a flush already in flight,
+        whose completion wakes the flusher anyway) don't arm a wakeup;
+        without this an overdue-but-busy key would clamp the timeout to
+        zero and spin the flusher.
+        """
+        if self.max_delay is None:
+            return None
+        heads = [
+            queue[0].submitted_at
+            for key, queue in self._queues.items()
+            if queue and key not in exclude
+        ]
+        return min(heads) + self.max_delay if heads else None
 
     def full_keys(self) -> list:
         """Keys whose queue has reached ``max_batch``."""
@@ -91,13 +122,20 @@ class MicroBatcher:
         return [key for key, queue in self._queues.items() if queue]
 
     def oldest_age(self, now: float) -> float:
-        """Age of the oldest queued request (0.0 when empty)."""
+        """Age of the oldest queued request, clamped to ``>= 0.0``.
+
+        Empty queues age 0.0 (nothing is waiting, so nothing is old),
+        and a request stamped *after* ``now`` — a stale ``now`` read
+        racing a concurrent submit, or a rewound fake clock — also
+        reports 0.0 instead of a negative age that would confuse
+        deadline arithmetic.
+        """
         oldest = [
             queue[0].submitted_at
             for queue in self._queues.values()
             if queue
         ]
-        return now - min(oldest) if oldest else 0.0
+        return max(0.0, now - min(oldest)) if oldest else 0.0
 
     def __repr__(self) -> str:
         return (

@@ -41,7 +41,12 @@ class EncodeResponse:
     ``latency`` is end-to-end (submit to flush completion, including
     queueing time in the micro-batcher); ``encoded.compile_time`` is the
     sample's even share of the batch's pipeline work.  ``batch_size``
-    records how many requests rode in the same flush.
+    records how many requests rode in the same flush, and ``flush_id``
+    which flush it was — a service-wide counter, so the concurrency
+    tests can reconstruct the exact micro-batch partition the worker
+    pool executed (responses sharing a ``flush_id`` were encoded
+    together, and per key the ids are strictly increasing: one flush in
+    flight per key, completed in submission order).
     """
 
     request_id: int
@@ -50,6 +55,7 @@ class EncodeResponse:
     submitted_at: float
     completed_at: float
     batch_size: int
+    flush_id: int = -1
 
     @property
     def latency(self) -> float:
@@ -95,6 +101,15 @@ class ServiceStats:
     *rows* this service lowered through a cached template — one per
     sample of every template-mode flush, whether the flush bound them
     one at a time or through a single vectorized ``bind_batch`` sweep.
+
+    Under the ``"thread"`` backend several flushes race: each flush
+    applies its whole contribution (counts, sums, and the latency-window
+    appends feeding p50/p95) in one locked step, so a snapshot never
+    observes a half-applied flush — percentiles are always computed
+    over complete flushes.  ``backend`` names the execution backend the
+    snapshot came from and ``flusher_wakeups`` counts background-flusher
+    wakeups (0 under ``"sync"``) — a flusher honoring a deadline by
+    sleeping wakes O(flushes) times, a busy-waiting one diverges.
     """
 
     requests_submitted: int = 0
@@ -112,6 +127,8 @@ class ServiceStats:
     template_cache_misses: int = 0
     template_binds: int = 0
     per_key_completed: dict = field(default_factory=dict)
+    backend: str = "sync"
+    flusher_wakeups: int = 0
 
     def summary(self) -> str:
         """One human-readable line (what the examples print)."""

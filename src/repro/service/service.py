@@ -17,12 +17,21 @@ package provides:
   :class:`~repro.service.records.EncodeResponse` records with
   per-request timing and fidelity, aggregated into
   :class:`~repro.service.records.ServiceStats` (p50/p95 latency,
-  evals/sample, template-cache hits).
+  evals/sample, template-cache hits);
+* a pluggable execution backend
+  (:class:`~repro.core.config.ServiceConfig`): ``"sync"`` flushes
+  inline from ``submit``/``poll`` calls, ``"thread"`` runs the
+  :class:`~repro.service.async_service.ThreadBackend` — a background
+  flusher that honors ``max_delay`` without requiring traffic plus a
+  worker pool flushing different keys concurrently.
 
 Every flush runs :meth:`repro.core.encoder.EnQodeEncoder.pipeline`'s
 ``run`` on the accumulated batch — the *same* stage objects
 ``encode_batch`` executes — so a submit-then-flush of B samples is
 numerically identical to one ``encode_batch`` call on those B samples.
+The thread backend preserves this: at most one flush per key (and per
+underlying pipeline) is in flight, so each key's micro-batches are
+contiguous FIFO slices of its traffic, completed in submission order.
 
 Example
 -------
@@ -32,25 +41,35 @@ Example
 >>> service.flush()                                  # drain the remainder
 >>> fidelities = [t.result().fidelity for t in tickets]
 >>> print(service.stats().summary())
+
+Threaded (deadlines fire on idle queues; submit from any thread):
+
+>>> with EncodingService(max_batch=32, max_delay=0.05,
+...                      backend="thread", workers=4) as service:
+...     service.register("digits-0", fitted_encoder)
+...     tickets = [service.submit(x) for x in stream]
+...     results = [t.result(timeout=5.0) for t in tickets]
 """
 
 from __future__ import annotations
 
 import itertools
 import pathlib
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import ServiceConfig
 from repro.core.encoder import EnQodeEncoder
 from repro.errors import ServiceError
 from repro.hardware.backend import Backend
+from repro.service.async_service import ThreadBackend
 from repro.service.batcher import MicroBatcher
 from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
 from repro.service.registry import EncoderRegistry
-from repro.transpile.template import GLOBAL_TEMPLATE_CACHE
 
 #: Latency percentiles are computed over this many most-recent requests,
 #: so a long-lived service keeps O(1) memory per request stream (means
@@ -64,8 +83,11 @@ class EncodeTicket:
 
     The response appears when the request's micro-batch flushes;
     :meth:`result` forces a flush of the owning queue if the caller
-    cannot wait for a trigger.  A request whose flush errored carries
-    the failure in ``error`` and re-raises it from :meth:`result`.
+    cannot wait for a trigger, and under the thread backend blocks
+    (optionally with ``timeout``) until a worker serves it.  A request
+    whose flush errored carries the failure in ``error`` and re-raises
+    it from :meth:`result`.  Completion is signalled through an event,
+    so any number of threads may wait on one ticket.
     """
 
     request: EncodeRequest
@@ -73,6 +95,9 @@ class EncodeTicket:
     error: "Exception | None" = None
     _service: "EncodingService | None" = field(
         default=None, repr=False, compare=False
+    )
+    _event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
     )
 
     @property
@@ -83,11 +108,35 @@ class EncodeTicket:
     def failed(self) -> bool:
         return self.error is not None
 
-    def result(self, flush: bool = True) -> EncodeResponse:
-        """The response, flushing this request's queue first if needed."""
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until the ticket resolves (served or failed)."""
+        return self._event.wait(timeout)
+
+    def _complete(self, response: EncodeResponse) -> None:
+        self.response = response
+        self._event.set()
+
+    def _fail(self, error: Exception) -> None:
+        self.error = error
+        self._event.set()
+
+    def result(
+        self, flush: bool = True, timeout: "float | None" = None
+    ) -> EncodeResponse:
+        """The response, flushing this request's queue first if needed.
+
+        Sync backend: ``flush`` triggers an inline flush of the owning
+        queue (the historical behaviour); ``timeout`` is ignored — the
+        flush happens on this thread.  Thread backend: ``flush`` asks
+        the background flusher to serve the queue eagerly, then blocks
+        up to ``timeout`` seconds (forever if ``None``) for a worker to
+        resolve the ticket; a timeout raises :class:`ServiceError`
+        without consuming the ticket — the request stays in flight and a
+        later ``result`` call can still collect it.
+        """
         if self.response is None and self.error is None:
-            if flush and self._service is not None:
-                self._service.flush(self.request.key)
+            if self._service is not None:
+                self._service._serve_ticket(self, flush=flush, timeout=timeout)
         if self.error is not None:
             raise ServiceError(
                 f"request {self.request.request_id} failed during its "
@@ -110,40 +159,74 @@ class EncodingService:
     registry:
         Encoder collection to serve from (a fresh empty registry by
         default; populate via :meth:`register` / :meth:`load`).
+    config:
+        A :class:`~repro.core.config.ServiceConfig` bundling every knob
+        below; passing it overrides the individual keyword arguments.
     max_batch:
         Size trigger: a key's queue reaching this many pending requests
-        flushes immediately inside ``submit``.
+        flushes immediately.
     max_delay:
-        Optional latency deadline in seconds: any queue whose oldest
-        request has waited this long is flushed at the next ``submit``
-        or ``poll`` call.  ``None`` (default) disables the deadline —
-        callers flush explicitly.
+        Optional latency deadline in seconds.  Sync backend: any queue
+        whose oldest request has waited this long is flushed at the next
+        ``submit`` or ``poll`` call.  Thread backend: the background
+        flusher wakes and flushes it with no traffic required.  ``None``
+        (default) disables the deadline — callers flush explicitly.
     use_template:
         Lower via the cached parametric transpile template (the fast
         path, default) or full per-sample transpiles (escape hatch).
+    backend:
+        ``"sync"`` (default) or ``"thread"`` — see
+        :class:`~repro.core.config.ServiceConfig`.  The thread backend
+        needs :meth:`start` before submissions (or use the service as a
+        context manager) and :meth:`stop` when done.
+    workers:
+        Thread-backend worker-pool size (concurrent flushes of
+        *different* keys; per-key flushes never overlap).
     clock:
         Monotonic time source; injectable for deterministic tests.
+        Condition-variable waits always use real time — with a fake
+        clock, advance it and call :meth:`poll` to wake the flusher.
     """
 
     def __init__(
         self,
         registry: "EncoderRegistry | None" = None,
         *,
+        config: "ServiceConfig | None" = None,
         max_batch: int = 32,
         max_delay: "float | None" = None,
         use_template: bool = True,
+        backend: str = "sync",
+        workers: int = 4,
         clock=time.monotonic,
     ) -> None:
+        if config is None:
+            config = ServiceConfig(
+                backend=backend,
+                workers=workers,
+                max_batch=max_batch,
+                max_delay=max_delay,
+                use_template=use_template,
+            )
+        self.config = config
         self.registry = registry if registry is not None else EncoderRegistry()
-        self.batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay)
-        self.use_template = use_template
+        self.batcher = MicroBatcher(
+            max_batch=config.max_batch, max_delay=config.max_delay
+        )
+        self.use_template = config.use_template
         self.clock = clock
+        #: One lock guards the batcher, the ticket table, and the stats
+        #: counters; the thread backend's condition variables share it.
+        #: Reentrant so sync-backend flush paths may nest safely.
+        self._lock = threading.RLock()
         self._ids = itertools.count()
+        self._flush_ids = itertools.count()
         self._tickets: "dict[int, EncodeTicket]" = {}
         # Aggregate accounting (ServiceStats is a computed snapshot).
         # Means/counts are exact running aggregates; only the latency
         # percentile window holds per-request history, and it is bounded
-        # so unbounded traffic cannot grow service memory.
+        # so unbounded traffic cannot grow service memory.  Every flush
+        # applies its whole contribution under the lock in one step.
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -157,6 +240,11 @@ class EncodingService:
         self._template_hits = 0
         self._template_misses = 0
         self._template_binds = 0
+        self._backend_impl = (
+            ThreadBackend(self, config.workers)
+            if config.backend == "thread"
+            else None
+        )
 
     # -- registry passthroughs -----------------------------------------------------
 
@@ -173,6 +261,50 @@ class EncodingService:
     def keys(self) -> list:
         return self.registry.keys()
 
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def running(self) -> bool:
+        """True when submissions are accepted (sync is always ready)."""
+        if self._backend_impl is None:
+            return True
+        return self._backend_impl.running
+
+    def start(self) -> "EncodingService":
+        """Start the thread backend's flusher + workers (sync: no-op)."""
+        if self._backend_impl is not None:
+            self._backend_impl.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: "float | None" = None) -> None:
+        """Shut down.  Thread backend: drain (or reject) pending work and
+        join the flusher + workers — see
+        :meth:`~repro.service.async_service.ThreadBackend.stop`.  Sync
+        backend: a draining stop flushes every queue inline; with
+        ``drain=False`` it is a no-op (nothing runs in the background).
+        """
+        if self._backend_impl is not None:
+            self._backend_impl.stop(drain=drain, timeout=timeout)
+        elif drain:
+            self.flush()
+
+    def drain(self, timeout: "float | None" = None) -> None:
+        """Serve everything pending and block until quiescent."""
+        if self._backend_impl is not None:
+            self._backend_impl.drain(timeout=timeout)
+        else:
+            self.flush()
+
+    def __enter__(self) -> "EncodingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
     # -- submission ----------------------------------------------------------------
 
     def submit(self, sample: np.ndarray, key=None) -> EncodeTicket:
@@ -181,11 +313,15 @@ class EncodingService:
         Without ``key`` the sample is routed to the registry's nearest
         encoder (the ``PerClassEnQode.encode_auto`` rule).  Validation
         happens here — a malformed sample fails its own ``submit`` call
-        instead of poisoning a whole micro-batch later.  If this
-        submission fills the key's queue to ``max_batch`` the queue is
-        flushed before returning (the returned ticket is then already
-        ``done``); a configured ``max_delay`` is also enforced across
-        all queues on every submit.
+        instead of poisoning a whole micro-batch later.
+
+        Sync backend: if this submission fills the key's queue to
+        ``max_batch`` the queue is flushed before returning (the
+        returned ticket is then already ``done``), and a configured
+        ``max_delay`` is enforced across all queues on every submit.
+        Thread backend: the call only enqueues and wakes the background
+        flusher — it returns immediately and is safe from any thread;
+        wait on the ticket (``result(timeout=...)``) for the response.
         """
         sample = self._validate(np.asarray(sample, dtype=float).ravel())
         if key is None:
@@ -196,16 +332,34 @@ class EncodingService:
                 f"sample has {sample.size} amplitudes, encoder {key!r} "
                 f"expects {encoder.config.num_amplitudes}"
             )
-        request = EncodeRequest(
-            request_id=next(self._ids),
-            key=key,
-            sample=sample,
-            submitted_at=self.clock(),
-        )
-        ticket = EncodeTicket(request=request, _service=self)
-        self._tickets[request.request_id] = ticket
-        self._submitted += 1
-        if self.batcher.add(request):
+        with self._lock:
+            # Checked under the lock: stop() holds it for its whole
+            # state transition, so a submission can never slip into the
+            # queue after a drain decided the service was quiescent.
+            if (
+                self._backend_impl is not None
+                and not self._backend_impl.running
+            ):
+                raise ServiceError(
+                    "thread backend is not running; start() the service "
+                    "(or use it as a context manager) before submitting"
+                )
+            request = EncodeRequest(
+                request_id=next(self._ids),
+                key=key,
+                sample=sample,
+                submitted_at=self.clock(),
+            )
+            ticket = EncodeTicket(request=request, _service=self)
+            self._tickets[request.request_id] = ticket
+            self._submitted += 1
+            full = self.batcher.add(request)
+        if self._backend_impl is not None:
+            # Wake the flusher: a fresh queue head may arm an earlier
+            # deadline, and a full queue must dispatch now.
+            self._backend_impl.kick()
+            return ticket
+        if full:
             self._flush_key(key)
         self.poll()
         return ticket
@@ -222,18 +376,70 @@ class EncodingService:
             )
         return sample
 
+    def _serve_ticket(
+        self, ticket: EncodeTicket, flush: bool, timeout: "float | None"
+    ) -> None:
+        """Backend-appropriate wait used by :meth:`EncodeTicket.result`."""
+        if self._backend_impl is None:
+            if flush:
+                self.flush(ticket.request.key)
+            return
+        # One absolute deadline spans the forced flush *and* the event
+        # wait, so the documented bound holds end to end (not 2x).
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if flush and not ticket._event.is_set():
+            if not self._backend_impl.running:
+                raise ServiceError(
+                    f"request {ticket.request.request_id} cannot be served: "
+                    "the thread backend is not running"
+                )
+            self._backend_impl.flush_key(ticket.request.key, timeout=timeout)
+        remaining = (
+            None
+            if deadline is None
+            else max(deadline - time.monotonic(), 0.0)
+        )
+        if not ticket._event.wait(remaining):
+            raise ServiceError(
+                f"request {ticket.request.request_id} was not served "
+                f"within {timeout}s"
+            )
+
     # -- flushing ------------------------------------------------------------------
 
     def poll(self) -> list[EncodeResponse]:
-        """Flush every queue whose latency deadline has passed."""
+        """Sync backend: flush every queue whose deadline has passed and
+        return the responses.  Thread backend: wake the background
+        flusher (it re-reads the injected clock) and return ``[]`` —
+        responses surface through tickets.
+        """
+        if self._backend_impl is not None:
+            self._backend_impl.kick()
+            return []
+        with self._lock:
+            due = self.batcher.due_keys(self.clock())
         responses: list[EncodeResponse] = []
-        for key in self.batcher.due_keys(self.clock()):
+        for key in due:
             responses.extend(self._flush_key(key))
         return responses
 
     def flush(self, key=None) -> list[EncodeResponse]:
-        """Flush one key's queue (or, with no key, every pending queue)."""
-        keys = [key] if key is not None else self.batcher.pending_keys()
+        """Serve one key's queue (or, with no key, every pending queue).
+
+        Sync backend: flushes inline and returns the responses.  Thread
+        backend: forces the background flusher to serve the queue(s) and
+        blocks until done, returning ``[]`` (collect responses from
+        tickets) — flushes always execute on the worker pool so the
+        one-in-flight-per-key ordering guarantee holds.
+        """
+        if self._backend_impl is not None:
+            if key is not None:
+                self._backend_impl.flush_key(key)
+            else:
+                self._backend_impl.drain()
+            return []
+        with self._lock:
+            keys = [key] if key is not None else self.batcher.pending_keys()
         responses: list[EncodeResponse] = []
         for one in keys:
             while self.batcher.pending(one):
@@ -241,116 +447,152 @@ class EncodingService:
         return responses
 
     def _flush_key(self, key) -> list[EncodeResponse]:
-        requests = self.batcher.drain(key)
+        """Sync-backend flush: drain and execute on the calling thread."""
+        with self._lock:
+            requests = self.batcher.drain(key)
+        return self._execute_flush(key, requests, reraise=True)
+
+    def _execute_flush(
+        self, key, requests: list, reraise: bool
+    ) -> list[EncodeResponse]:
+        """Encode one drained micro-batch and resolve its tickets.
+
+        Runs outside the service lock (the pipeline stages are
+        re-entrant); only the final accounting step locks, applying the
+        flush's entire stats contribution atomically so concurrent
+        ``stats()`` snapshots never see a half-applied flush.  With
+        ``reraise=False`` (worker pool) an encoding failure resolves
+        into the affected tickets instead of propagating.
+        """
         if not requests:
             return []
-        hits0, misses0 = (
-            GLOBAL_TEMPLATE_CACHE.hits,
-            GLOBAL_TEMPLATE_CACHE.misses,
-        )
         try:
             encoder = self.registry.get(key)
             pipeline = encoder.pipeline
-            binds_before = pipeline.stats.template_binds
             samples = np.stack([request.sample for request in requests])
             # The same stage objects encode/encode_batch execute — a flush
             # of B requests is numerically identical to encode_batch on
             # them (one vectorized template bind_batch sweep per flush).
-            encoded = pipeline.run(samples, use_template=self.use_template)
+            encoded, report = pipeline.run_reported(
+                samples, use_template=self.use_template
+            )
         except Exception as exc:
             # The requests are already drained: fail their tickets loudly
             # (result() re-raises) rather than stranding them forever —
             # e.g. a hot-reloaded bundle with a different amplitude width
             # invalidates whatever was queued under the old model.
-            for request in requests:
-                ticket = self._tickets.pop(request.request_id, None)
-                if ticket is not None:
-                    ticket.error = exc
-                self._failed += 1
-            raise ServiceError(
-                f"flush of {len(requests)} request(s) for encoder "
-                f"{key!r} failed: {exc}"
-            ) from exc
+            with self._lock:
+                for request in requests:
+                    ticket = self._tickets.pop(request.request_id, None)
+                    if ticket is not None:
+                        ticket._fail(exc)
+                    self._failed += 1
+            if reraise:
+                raise ServiceError(
+                    f"flush of {len(requests)} request(s) for encoder "
+                    f"{key!r} failed: {exc}"
+                ) from exc
+            return []
         completed_at = self.clock()
-        self._template_hits += GLOBAL_TEMPLATE_CACHE.hits - hits0
-        self._template_misses += GLOBAL_TEMPLATE_CACHE.misses - misses0
-        # Row-level bind accounting: a batched flush counts one bind per
-        # request, exactly as the per-sample loop would.
-        self._template_binds += pipeline.stats.template_binds - binds_before
-        self._flushes += 1
-        self._batch_size_sum += len(requests)
-        responses = []
-        for request, sample in zip(requests, encoded):
-            response = EncodeResponse(
+        flush_id = next(self._flush_ids)
+        responses = [
+            EncodeResponse(
                 request_id=request.request_id,
                 key=key,
                 encoded=sample,
                 submitted_at=request.submitted_at,
                 completed_at=completed_at,
                 batch_size=len(requests),
+                flush_id=flush_id,
             )
-            ticket = self._tickets.pop(request.request_id, None)
-            if ticket is not None:
-                ticket.response = response
-            self._completed += 1
-            self._latency_window.append(response.latency)
-            self._latency_sum += response.latency
-            self._evaluation_sum += sample.optimizer_evaluations
-            self._fidelity_sum += sample.ideal_fidelity
-            self._per_key_completed[key] = (
-                self._per_key_completed.get(key, 0) + 1
-            )
-            responses.append(response)
+            for request, sample in zip(requests, encoded)
+        ]
+        with self._lock:
+            # One atomic stats application per flush: counts, sums, and
+            # the percentile window advance together or not at all.
+            if report.template_hit is not None:
+                if report.template_hit:
+                    self._template_hits += 1
+                else:
+                    self._template_misses += 1
+            self._template_binds += report.template_binds
+            self._flushes += 1
+            self._batch_size_sum += len(requests)
+            for response, sample in zip(responses, encoded):
+                self._completed += 1
+                self._latency_window.append(response.latency)
+                self._latency_sum += response.latency
+                self._evaluation_sum += sample.optimizer_evaluations
+                self._fidelity_sum += sample.ideal_fidelity
+                self._per_key_completed[key] = (
+                    self._per_key_completed.get(key, 0) + 1
+                )
+                ticket = self._tickets.pop(response.request_id, None)
+                if ticket is not None:
+                    ticket._complete(response)
         return responses
 
     # -- introspection -------------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        return self.batcher.pending()
+        with self._lock:
+            return self.batcher.pending()
 
     def stats(self) -> ServiceStats:
         """Aggregate accounting snapshot since construction.
 
         Counts and means are exact over all served traffic; latency
         percentiles cover the most recent :data:`STATS_WINDOW` requests.
+        Taken under the service lock, so a snapshot observes whole
+        flushes only, even while the worker pool is racing.
         """
-        window = np.asarray(self._latency_window, dtype=float)
-        have = window.size > 0
-        done = self._completed
-        return ServiceStats(
-            requests_submitted=self._submitted,
-            requests_completed=done,
-            requests_failed=self._failed,
-            requests_pending=self.pending,
-            num_flushes=self._flushes,
-            mean_batch_size=(
-                self._batch_size_sum / self._flushes
-                if self._flushes
-                else float("nan")
-            ),
-            p50_latency=(
-                float(np.percentile(window, 50)) if have else float("nan")
-            ),
-            p95_latency=(
-                float(np.percentile(window, 95)) if have else float("nan")
-            ),
-            mean_latency=self._latency_sum / done if done else float("nan"),
-            evals_per_sample=(
-                self._evaluation_sum / done if done else float("nan")
-            ),
-            mean_fidelity=(
-                self._fidelity_sum / done if done else float("nan")
-            ),
-            template_cache_hits=self._template_hits,
-            template_cache_misses=self._template_misses,
-            template_binds=self._template_binds,
-            per_key_completed=dict(self._per_key_completed),
-        )
+        with self._lock:
+            window = np.asarray(self._latency_window, dtype=float)
+            have = window.size > 0
+            done = self._completed
+            return ServiceStats(
+                requests_submitted=self._submitted,
+                requests_completed=done,
+                requests_failed=self._failed,
+                requests_pending=self.batcher.pending(),
+                num_flushes=self._flushes,
+                mean_batch_size=(
+                    self._batch_size_sum / self._flushes
+                    if self._flushes
+                    else float("nan")
+                ),
+                p50_latency=(
+                    float(np.percentile(window, 50)) if have else float("nan")
+                ),
+                p95_latency=(
+                    float(np.percentile(window, 95)) if have else float("nan")
+                ),
+                mean_latency=(
+                    self._latency_sum / done if done else float("nan")
+                ),
+                evals_per_sample=(
+                    self._evaluation_sum / done if done else float("nan")
+                ),
+                mean_fidelity=(
+                    self._fidelity_sum / done if done else float("nan")
+                ),
+                template_cache_hits=self._template_hits,
+                template_cache_misses=self._template_misses,
+                template_binds=self._template_binds,
+                per_key_completed=dict(self._per_key_completed),
+                backend=self.config.backend,
+                flusher_wakeups=(
+                    self._backend_impl.flusher_wakeups
+                    if self._backend_impl is not None
+                    else 0
+                ),
+            )
 
     def __repr__(self) -> str:
         return (
             f"EncodingService(keys={self.keys()}, "
+            f"backend={self.config.backend!r}, "
             f"max_batch={self.batcher.max_batch}, "
             f"max_delay={self.batcher.max_delay}, pending={self.pending})"
         )

@@ -38,6 +38,7 @@ the module-level entry point used by the batch encoder.
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 import numpy as np
@@ -555,12 +556,18 @@ class TemplateCache:
     with the same geometry share one template.  ``hits``/``misses``
     counters make cache behaviour testable: a batch encode must build its
     template at most once.
+
+    The cache is thread-safe: concurrent :class:`repro.service`
+    worker-pool flushes race to the same key, and the lock guarantees
+    exactly one structural transpile per key (the losers of the race
+    block on the build and then share it) with exact hit/miss counters.
     """
 
     def __init__(self) -> None:
         self._per_backend: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
         )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -575,21 +582,36 @@ class TemplateCache:
         )
 
     def get(self, ansatz, backend, optimization_level: int = 1) -> ParametricTemplate:
-        templates = self._per_backend.setdefault(backend, {})
-        key = (self._ansatz_key(ansatz), optimization_level)
-        template = templates.get(key)
-        if template is None:
-            self.misses += 1
-            template = ParametricTemplate(ansatz, backend, optimization_level)
-            templates[key] = template
-        else:
+        return self.get_reported(ansatz, backend, optimization_level)[0]
+
+    def get_reported(
+        self, ansatz, backend, optimization_level: int = 1
+    ) -> "tuple[ParametricTemplate, bool]":
+        """The cached template plus whether this call was a cache hit.
+
+        The flag lets concurrent callers attribute the hit/miss to their
+        own flush without diffing the shared counters (which races when
+        several flushes are in flight).
+        """
+        with self._lock:
+            templates = self._per_backend.setdefault(backend, {})
+            key = (self._ansatz_key(ansatz), optimization_level)
+            template = templates.get(key)
+            if template is None:
+                self.misses += 1
+                template = ParametricTemplate(
+                    ansatz, backend, optimization_level
+                )
+                templates[key] = template
+                return template, False
             self.hits += 1
-        return template
+            return template, True
 
     def clear(self) -> None:
-        self._per_backend = weakref.WeakKeyDictionary()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._per_backend = weakref.WeakKeyDictionary()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._per_backend.values())

@@ -1,6 +1,9 @@
-"""Shared fixtures and hypothesis configuration for the test suite."""
+"""Shared fixtures, hypothesis configuration, and the test watchdog."""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -16,6 +19,57 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+# -- per-test watchdog -----------------------------------------------------------------
+#
+# The threaded EncodingService backend means a scheduling bug now fails
+# as a *deadlock* (a ticket wait or a drain that never returns), which
+# would hang CI for its whole job timeout.  This is a dependency-free
+# stand-in for pytest-timeout: SIGALRM interrupts the main thread even
+# inside lock/event waits (CPython makes those interruptible), so a
+# wedged test dies with a traceback pointing at the blocked wait.
+# Override the generous default with ``@pytest.mark.timeout(seconds)``
+# — the concurrency suite pins itself far lower.
+
+DEFAULT_TEST_TIMEOUT = 600.0
+
+
+class WatchdogTimeout(Exception):
+    """A test exceeded its watchdog budget (likely a deadlocked wait)."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(conftest watchdog; SIGALRM-based, main thread only)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker else DEFAULT_TEST_TIMEOUT
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)  # no reliable alarm here; rely on the CI job timeout
+
+    def _expired(signum, frame):
+        raise WatchdogTimeout(
+            f"{item.nodeid} exceeded the {seconds:.0f}s watchdog — "
+            "a thread wait is probably deadlocked"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,11 +1,25 @@
-"""Property-based tests (hypothesis) for core physical invariants."""
+"""Property-based tests (hypothesis) for core physical invariants,
+plus seeded randomized sweeps of the online pipeline-stage equivalences
+(``encode`` == ``encode_batch[i]`` == service submit/flush) across
+qubit counts, batch sizes, optimization levels, and degenerate inputs
+(duplicate rows, near-zero-norm rows, batch size 1)."""
 
 import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.baseline import mottonen_circuit
-from repro.core import EnQodeAnsatz, FidelityObjective, build_symbolic
+from repro.core import (
+    EnQodeAnsatz,
+    EnQodeConfig,
+    EnQodeEncoder,
+    FidelityObjective,
+    build_symbolic,
+)
+from repro.errors import OptimizationError
+from repro.hardware import brisbane_linear_segment
+from repro.service import EncodingService
 from repro.quantum import (
     DensityMatrix,
     QuantumCircuit,
@@ -105,3 +119,175 @@ def test_fidelity_bounds_property(seed):
     sigma /= np.trace(sigma).real
     f = state_fidelity(a, sigma)
     assert 0.0 <= f <= 1.0
+
+
+# -- online pipeline-stage equivalence sweeps ------------------------------------------
+#
+# One fitted encoder per (num_qubits, optimization_level) variant,
+# trained once per module; hypothesis then sweeps seeds, batch sizes,
+# and variants over them.  The invariants mirror the serving-layer
+# guarantees: a sync-service submit-then-flush is *instruction-
+# identical* to encode_batch on the same rows, template and full
+# lowering agree gate for gate, and the one-row path degrades to the
+# historical `encode` numerics.
+
+_VARIANTS = [(3, 1), (4, 1), (4, 0)]
+
+
+@pytest.fixture(scope="module")
+def online_encoders():
+    built = {}
+    for num_qubits, level in _VARIANTS:
+        dim = 2**num_qubits
+        rng = np.random.default_rng(60 + 7 * num_qubits + level)
+        centers = rng.normal(size=(2, dim))
+        centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+        blocks = [
+            center + 0.05 * rng.normal(size=(20, dim)) for center in centers
+        ]
+        data = np.concatenate(
+            [b / np.linalg.norm(b, axis=1, keepdims=True) for b in blocks]
+        )
+        config = EnQodeConfig(
+            num_qubits=num_qubits,
+            num_layers=4,
+            offline_restarts=2,
+            offline_max_iterations=300,
+            online_max_iterations=50,
+            max_clusters=4,
+            optimization_level=level,
+            seed=11,
+        )
+        encoder = EnQodeEncoder(brisbane_linear_segment(num_qubits), config)
+        encoder.fit(data)
+        built[(num_qubits, level)] = (encoder, data)
+    return built
+
+
+def _draw_rows(data, rng, batch_size):
+    return data[rng.integers(len(data), size=batch_size)]
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(_VARIANTS),
+    st.integers(2, 6),
+)
+def test_encode_batch_rows_match_per_sample_encode(
+    online_encoders, seed, variant, batch_size
+):
+    """encode_batch[i] == encode(row_i): same routing, fidelity to 1e-9.
+
+    The batched fine-tune engine and the sequential scipy engine share
+    warm starts and tolerances, so they agree to optimizer precision
+    (exact bit-identity is only promised within one engine).
+    """
+    encoder, data = online_encoders[variant]
+    rows = _draw_rows(data, np.random.default_rng(seed), batch_size)
+    batched = encoder.encode_batch(rows)
+    for row, sample in zip(rows, batched):
+        one = encoder.encode(row)
+        assert sample.cluster_index == one.cluster_index
+        assert abs(sample.ideal_fidelity - one.ideal_fidelity) < 1e-9
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(_VARIANTS),
+    st.integers(1, 6),
+)
+def test_service_flush_instruction_identical_to_encode_batch(
+    online_encoders, seed, variant, batch_size
+):
+    """Sync-service submit-then-flush == encode_batch, float bits included."""
+    encoder, data = online_encoders[variant]
+    rows = _draw_rows(data, np.random.default_rng(seed), batch_size)
+    reference = encoder.encode_batch(rows)
+    service = EncodingService(max_batch=batch_size)
+    service.register("k", encoder)
+    tickets = [service.submit(row, key="k") for row in rows]
+    for ticket, ref in zip(tickets, reference):
+        response = ticket.result()
+        assert response.cluster_index == ref.cluster_index
+        assert np.array_equal(response.encoded.theta, ref.theta)
+        assert response.encoded.ideal_fidelity == ref.ideal_fidelity
+        assert list(response.circuit) == list(ref.circuit)
+
+
+@given(st.integers(0, 2**31 - 1), st.sampled_from(_VARIANTS))
+def test_duplicate_rows_encode_identically(online_encoders, seed, variant):
+    """Degenerate batch: duplicated rows get bit-identical embeddings."""
+    encoder, data = online_encoders[variant]
+    rng = np.random.default_rng(seed)
+    row = data[int(rng.integers(len(data)))]
+    rows = np.stack([row, data[int(rng.integers(len(data)))], row])
+    first, other, duplicate = encoder.encode_batch(rows)
+    assert first.cluster_index == duplicate.cluster_index
+    assert np.array_equal(first.theta, duplicate.theta)
+    assert first.ideal_fidelity == duplicate.ideal_fidelity
+    assert list(first.circuit) == list(duplicate.circuit)
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(_VARIANTS),
+    st.integers(3, 8),
+)
+def test_near_zero_norm_rows_are_normalized(
+    online_encoders, seed, variant, exponent
+):
+    """Rows scaled down to ~1e-8 route and embed like their unit versions."""
+    encoder, data = online_encoders[variant]
+    rows = _draw_rows(data, np.random.default_rng(seed), 3)
+    scaled = rows * 10.0**-exponent
+    for small, reference in zip(
+        encoder.encode_batch(scaled), encoder.encode_batch(rows)
+    ):
+        assert small.cluster_index == reference.cluster_index
+        # Normalizing the scaled row reproduces the unit row only to
+        # rounding, so the fine-tune may wander a few ulps differently.
+        assert abs(small.ideal_fidelity - reference.ideal_fidelity) < 1e-6
+
+
+@given(st.integers(0, 2**31 - 1), st.sampled_from(_VARIANTS))
+def test_batch_size_one_matches_encode(online_encoders, seed, variant):
+    """B == 1 runs the sequential engine: the service equals `encode`."""
+    encoder, data = online_encoders[variant]
+    rng = np.random.default_rng(seed)
+    row = data[int(rng.integers(len(data)))]
+    reference = encoder.encode(row)
+    service = EncodingService(max_batch=1)
+    service.register("k", encoder)
+    response = service.submit(row, key="k").result(flush=False)
+    assert response.cluster_index == reference.cluster_index
+    assert abs(response.fidelity - reference.ideal_fidelity) < 1e-12
+    assert list(response.circuit) == list(reference.circuit)
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(_VARIANTS),
+    st.integers(2, 5),
+)
+def test_template_and_full_lowering_agree(
+    online_encoders, seed, variant, batch_size
+):
+    """Template-mode lowering == full per-sample transpile, gate for gate."""
+    encoder, data = online_encoders[variant]
+    rows = _draw_rows(data, np.random.default_rng(seed), batch_size)
+    fast = encoder.encode_batch(rows, use_template=True)
+    full = encoder.encode_batch(rows, use_template=False)
+    for a, b in zip(fast, full):
+        assert np.array_equal(a.theta, b.theta)
+        assert list(a.circuit) == list(b.circuit)
+
+
+def test_zero_norm_row_rejected(online_encoders):
+    """Below the normalization floor the pipeline refuses, batched or not."""
+    encoder, data = online_encoders[(4, 1)]
+    rows = data[:3].copy()
+    rows[1] = 0.0
+    with pytest.raises(OptimizationError, match="zero sample row"):
+        encoder.encode_batch(rows)
+    with pytest.raises(OptimizationError):
+        encoder.encode_batch(data[:2] * 1e-13)  # under the 1e-12 floor
