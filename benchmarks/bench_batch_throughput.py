@@ -5,13 +5,18 @@ paper-style synthetic MNIST PCA data.  Since PR 4 the batched path lowers
 the whole batch through one vectorized ``ParametricTemplate.bind_batch``
 sweep, so on top of the end-to-end comparison this bench records:
 
-* a **per-stage timing breakdown** (route / finetune / bind / lower) of
-  the batched path, read off ``EncodePipeline.stats``, so the current
-  bottleneck is named in the artifact;
+* a **per-stage timing breakdown** (route / finetune / bind / lower,
+  plus the deferred ``materialize`` cost of expanding every compact-IR
+  circuit to instructions) of the batched path, read off
+  ``EncodePipeline.stats``, so the current bottleneck is named in the
+  artifact;
 * the **bind-stage micro-benchmark**: a loop of per-sample
   ``template.bind`` calls vs one ``bind_batch`` over the same angles,
   with instruction-for-instruction equality asserted (down to the float
   bits of every Rz angle) and the speedup gated;
+* the **bind-allocation micro-benchmark** (PR 6): tracemalloc byte and
+  allocation-block counts for one batch-64 bind — the eager per-sample
+  loop vs the array-backed ``bind_batch_ir`` compact IR;
 * the **fine-tune engine comparison** (``optimize_rows`` vs the scipy
   stacked drive) on the warm-started online batch, justifying the
   ``EnQodeConfig.online_batch_engine`` default.
@@ -25,16 +30,20 @@ can track the throughput trajectory.
 
 from __future__ import annotations
 
+import gc
 import json
 import pathlib
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.core import EnQodeConfig, EnQodeEncoder
+from repro.core.ansatz import EnQodeAnsatz
 from repro.data import load_dataset
 from repro.hardware import brisbane_linear_segment
+from repro.transpile import transpile_template
 
 ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / (
     "BENCH_batch_throughput.json"
@@ -47,6 +56,9 @@ QUBIT_COUNTS = (4, 6, 8)
 GATED_SPEEDUPS = {4: 11.0, 6: 8.0}
 GATED_QUBITS = 6
 MIN_BIND_SPEEDUP = 3.0
+#: PR-6 compact-IR gate: one batch-64 bind must allocate >= 10x fewer
+#: tracemalloc blocks than the eager per-sample loop it replaced.
+MIN_ALLOCATION_RATIO = 10.0
 REPETITIONS = 3
 
 
@@ -106,6 +118,46 @@ def _check_equivalence(sequential, batched) -> dict:
     }
 
 
+def _measure_allocation(fn) -> tuple[int, int]:
+    """(bytes, blocks) still allocated by ``fn()`` at return time."""
+    gc.collect()
+    tracemalloc.start()
+    result = fn()
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    del result
+    stats = snapshot.statistics("filename")
+    return (
+        sum(stat.size for stat in stats),
+        sum(stat.count for stat in stats),
+    )
+
+
+def _bind_allocation(template, thetas: np.ndarray) -> dict:
+    """tracemalloc counts for one whole-batch bind, eager loop vs IR.
+
+    The eager path builds a ``Gate``/``Instruction`` object graph per
+    sample; the compact IR holds only packed numpy rows per sample, so
+    both the byte total and (especially) the allocation-block count must
+    drop by an order of magnitude.
+    """
+    eager_bytes, eager_blocks = _measure_allocation(
+        lambda: [template.bind(theta) for theta in thetas]
+    )
+    ir_bytes, ir_blocks = _measure_allocation(
+        lambda: template.bind_batch_ir(thetas)
+    )
+    return {
+        "batch_size": int(thetas.shape[0]),
+        "eager_bind_bytes": int(eager_bytes),
+        "eager_bind_blocks": int(eager_blocks),
+        "ir_bind_bytes": int(ir_bytes),
+        "ir_bind_blocks": int(ir_blocks),
+        "bytes_ratio": eager_bytes / ir_bytes,
+        "blocks_ratio": eager_blocks / ir_blocks,
+    }
+
+
 def _bind_stage(encoder: EnQodeEncoder, batched, repetitions: int) -> dict:
     """Micro-benchmark the bind stage: per-sample loop vs ``bind_batch``.
 
@@ -141,6 +193,7 @@ def _bind_stage(encoder: EnQodeEncoder, batched, repetitions: int) -> dict:
         "bind_batch_seconds": batch_time,
         "bind_speedup": loop_time / batch_time,
         "bind_instruction_identical": bool(identical),
+        "bind_allocation": _bind_allocation(template, thetas),
     }
 
 
@@ -223,13 +276,20 @@ def run_scenario(
 
 
 def _stage_breakdown(encoder, batched, repetitions: int = 3) -> dict:
-    """Clean template-mode runs' stage split (fresh counters, averaged)."""
+    """Clean template-mode runs' stage split (fresh counters, averaged).
+
+    ``materialize_seconds`` is the *deferred* cost the compact IR moves
+    out of the bind stage: expanding every lazy circuit of one batch to
+    its eager instruction stream.  It is reported alongside the pipeline
+    stages (it is not part of ``encode_batch`` wall time — only
+    consumers that iterate instructions ever pay it).
+    """
     pipeline = encoder.pipeline
     stats_cls = type(pipeline.stats)
     pipeline.stats = stats_cls()
     samples = np.asarray([s.target for s in batched])
     for _ in range(repetitions):
-        encoder.encode_batch(samples)
+        results = encoder.encode_batch(samples)
     stats = pipeline.stats
     total = (
         stats.route_seconds
@@ -237,11 +297,18 @@ def _stage_breakdown(encoder, batched, repetitions: int = 3) -> dict:
         + stats.bind_seconds
         + stats.lower_seconds
     )
+    materialize_times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        for encoded in results:
+            encoded.circuit.materialize()
+        materialize_times.append(time.perf_counter() - start)
     return {
         "route_seconds": stats.route_seconds / repetitions,
         "finetune_seconds": stats.finetune_seconds / repetitions,
         "bind_seconds": stats.bind_seconds / repetitions,
         "lower_seconds": stats.lower_seconds / repetitions,
+        "materialize_seconds": float(np.median(materialize_times)),
         "bind_fraction": stats.bind_seconds / total if total else float("nan"),
     }
 
@@ -294,16 +361,63 @@ def test_batch_throughput():
         assert gated["max_fidelity_diff"] < 1e-9
         assert gated["gate_counts_equal"]
         assert gated["speedup"] >= min_speedup
-    # The bind stage itself must beat the per-sample loop >= 3x.
-    assert results[str(GATED_QUBITS)]["bind_speedup"] >= MIN_BIND_SPEEDUP
+    # The bind stage itself must beat the per-sample loop >= 3x, and the
+    # compact IR must allocate >= 10x fewer blocks than the eager loop.
+    gated = results[str(GATED_QUBITS)]
+    assert gated["bind_speedup"] >= MIN_BIND_SPEEDUP
+    assert gated["bind_allocation"]["blocks_ratio"] >= MIN_ALLOCATION_RATIO
+
+
+def template_bind_gate(
+    num_qubits: int = GATED_QUBITS, num_layers: int = 8
+) -> dict:
+    """Raw-template bind+lower gate at the paper-adjacent 6-qubit scale.
+
+    Builds the template directly (no offline fit, so it is cheap enough
+    for CI) and compares one batch-64 bind+lower through the compact IR
+    against the PR-4 baseline it replaced: the eager per-sample
+    ``template.bind`` loop.  Gates wall time (>= ``MIN_BIND_SPEEDUP``)
+    and tracemalloc allocation blocks (>= ``MIN_ALLOCATION_RATIO``).
+    """
+    ansatz = EnQodeAnsatz(num_qubits, num_layers)
+    template = transpile_template(
+        ansatz, brisbane_linear_segment(num_qubits), 1
+    )
+    rng = np.random.default_rng(13)
+    thetas = rng.uniform(-np.pi, np.pi, (BATCH_SIZE, ansatz.num_parameters))
+    # Warm both paths (lazy gate caches, numpy internals).
+    [template.bind(theta) for theta in thetas[:2]]
+    template.bind_batch_ir(thetas[:2])
+    loop_times, ir_times = [], []
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        [template.bind(theta) for theta in thetas]
+        loop_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        template.bind_batch_ir(thetas)
+        ir_times.append(time.perf_counter() - start)
+    loop_time = float(np.median(loop_times))
+    ir_time = float(np.median(ir_times))
+    return {
+        "num_qubits": num_qubits,
+        "batch_size": BATCH_SIZE,
+        "eager_loop_seconds": loop_time,
+        "ir_bind_seconds": ir_time,
+        "bind_speedup": loop_time / ir_time,
+        **_bind_allocation(template, thetas),
+    }
 
 
 def smoke() -> None:
-    """CI guard: one reduced 4-qubit scenario, no artifact write.
+    """CI guard: a reduced 4-qubit scenario plus the 6-qubit raw-template
+    compact-IR gates; no artifact write.
 
-    The bind-stage gate is deliberately conservative (2x vs the ~4x
+    The 4q bind-stage gate is deliberately conservative (2x vs the ~4x
     measured locally) so shared CI runners don't flake; the strict
-    thresholds live in the full benchmark.
+    thresholds live in the full benchmark.  The 6q template gate uses
+    the full PR-6 thresholds — wall time is measured with generous
+    margin (~9x locally vs the 3x gate) and allocation counts are
+    deterministic, so neither flakes on shared runners.
     """
     results = {"4q_smoke": run_scenario(4, samples_per_class=30)}
     row = results["4q_smoke"]
@@ -318,6 +432,15 @@ def smoke() -> None:
     assert row["bind_instruction_identical"]
     assert row["bind_speedup"] >= 2.0
     assert row["finetune_engines"]["max_engine_fidelity_diff"] < 1e-9
+    gate = template_bind_gate()
+    print(
+        f"6q template gate: bind+lower {gate['bind_speedup']:.1f}x vs "
+        f"eager loop (gate {MIN_BIND_SPEEDUP:.0f}x), allocation blocks "
+        f"{gate['eager_bind_blocks']} -> {gate['ir_bind_blocks']} "
+        f"({gate['blocks_ratio']:.1f}x, gate {MIN_ALLOCATION_RATIO:.0f}x)"
+    )
+    assert gate["bind_speedup"] >= MIN_BIND_SPEEDUP
+    assert gate["blocks_ratio"] >= MIN_ALLOCATION_RATIO
     print("batch throughput smoke: ok")
 
 

@@ -11,7 +11,10 @@ workflow end to end on the service API:
    :class:`repro.service.EncodingService`, stream samples through the
    micro-batcher (auto-routing samples of unknown class to the nearest
    model), read the embedded states out with finite shots and calibrated
-   readout error, and print the service's latency/fidelity accounting;
+   readout error, and print the service's latency/fidelity accounting
+   (response circuits are lazy compact-IR views —
+   :class:`repro.transpile.BoundCircuit` — simulated straight off the
+   packed bind arrays, materialized to instructions only on demand);
 3. async service — the same registry behind the ``backend="thread"``
    execution backend: ``start()`` the background flusher + worker pool,
    submit from several producer threads at once, collect responses with
@@ -66,9 +69,15 @@ def online_service(backend, dataset, model_dir: pathlib.Path) -> None:
     # one L-BFGS drive and lowers it through a single
     # ParametricTemplate.bind_batch sweep (stacked 2x2 composition +
     # batched ZYZ — instruction-identical to per-sample compiles; the
-    # stats line below counts one template bind per request).  Loading a
-    # bundle validates its schema_version up front — an incompatible
-    # bundle fails here, not on live traffic.
+    # stats line below counts one template bind per request).  Since PR 6
+    # the response circuits are *compact-IR* views
+    # (repro.transpile.BoundCircuit): per sample the service holds only
+    # packed angle arrays — a few hundred bytes instead of thousands of
+    # instruction objects — and simulate_statevector below walks those
+    # arrays directly; the eager instruction list is built lazily only
+    # if something iterates the circuit (drawing, instruction export).
+    # Loading a bundle validates its schema_version up front — an
+    # incompatible bundle fails here, not on live traffic.
     service = EncodingService(max_batch=4)
     for path in sorted(model_dir.glob("enqode_class*.json")):
         label = int(path.stem.replace("enqode_class", ""))

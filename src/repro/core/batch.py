@@ -146,23 +146,40 @@ class BatchFidelityObjective:
         the optimizer's inner loop.  With ``T = terms @ P/2`` and
         overlap ``S``, the fidelity gradient ``2 Re(conj(S) * i T)``
         expands to ``2 (Im(S) Re(T) - Re(S) Im(T))``.
+
+        The two term matrices live stacked in one ``(2B, 2^n)`` buffer,
+        so the overlap reduction is a single row sum and the derivative
+        contraction is a single gemm against ``P/2`` instead of two;
+        ``sin`` reuses the phase buffer and the returned gradient is
+        assembled in place inside the contraction's output.  Every
+        buffer is allocated per call (no persistent scratch), keeping
+        the objective re-entrant under the service's worker pool.
         """
         thetas = self._as_matrix(thetas)
+        batch = self.batch_size
         phases = thetas @ self._half_p.T
         cos = np.cos(phases)
-        sin = np.sin(phases)
-        t_r = self._coeff_real * cos
+        sin = np.sin(phases, out=phases)
+        terms = np.empty((2 * batch, cos.shape[1]))
+        t_r = terms[:batch]
+        t_i = terms[batch:]
+        np.multiply(self._coeff_real, cos, out=t_r)
         t_r -= self._coeff_imag * sin
-        t_i = self._coeff_real * sin
+        np.multiply(self._coeff_real, sin, out=t_i)
         t_i += self._coeff_imag * cos
-        s_real = t_r.sum(axis=1)
-        s_imag = t_i.sum(axis=1)
-        grad_fidelity = 2.0 * (
-            s_imag[:, None] * (t_r @ self._half_p)
-            - s_real[:, None] * (t_i @ self._half_p)
-        )
+        sums = terms.sum(axis=1)
+        s_real = sums[:batch]
+        s_imag = sums[batch:]
+        contracted = terms @ self._half_p
+        t_r_p = contracted[:batch]
+        t_i_p = contracted[batch:]
+        # -grad_fidelity = 2 (Re(S) Im(T) - Im(S) Re(T)), built in place.
+        t_r_p *= s_imag[:, None]
+        t_i_p *= s_real[:, None]
+        t_i_p -= t_r_p
+        t_i_p *= 2.0
         losses = 1.0 - (s_real * s_real + s_imag * s_imag)
-        return losses, -grad_fidelity
+        return losses, t_i_p
 
     def stacked_value_and_grad(
         self, flat_theta: np.ndarray

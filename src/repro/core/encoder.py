@@ -53,6 +53,7 @@ from repro.core.optimizer import LBFGSOptimizer, OptimizationResult
 from repro.core.pipeline import EncodedSample, EncodePipeline
 from repro.core.symbolic import SymbolicState
 from repro.core.transfer import TransferLearner
+from repro.data.preprocess import prepare_amplitudes
 from repro.errors import OptimizationError
 from repro.hardware.backend import Backend
 from repro.utils.timing import Timer
@@ -125,8 +126,24 @@ class EnQodeEncoder:
     def is_fitted(self) -> bool:
         return self._transfer is not None
 
-    def fit(self, samples: np.ndarray) -> OfflineReport:
+    def fit(
+        self,
+        samples: np.ndarray,
+        *,
+        normalize: bool = True,
+        pad_with: "float | None" = None,
+    ) -> OfflineReport:
         """Cluster ``samples`` and train one ansatz per cluster mean.
+
+        ``normalize``/``pad_with`` are PennyLane ``AmplitudeEmbedding``
+        input conveniences (see
+        :func:`repro.data.preprocess.prepare_amplitudes`): with
+        ``pad_with`` set, rows shorter than ``2^n`` are right-padded
+        with that constant before embedding; with ``normalize=False``
+        rows must already be unit-norm (a
+        :class:`~repro.errors.DataError` otherwise).  The defaults
+        reproduce the historical behaviour exactly — full-length rows,
+        normalized here.
 
         With ``config.offline_batch`` (the default) all cluster means are
         trained through **one stacked multi-restart L-BFGS drive**
@@ -147,6 +164,13 @@ class EnQodeEncoder:
         the same mean quality; ``offline_batch=False`` restores the
         exact sequential behaviour.
         """
+        if pad_with is not None or not normalize:
+            samples = prepare_amplitudes(
+                samples,
+                self.config.num_amplitudes,
+                normalize=normalize,
+                pad_with=pad_with,
+            )
         samples = np.asarray(samples, dtype=float)
         if samples.ndim != 2 or samples.shape[1] != self.config.num_amplitudes:
             raise OptimizationError(
@@ -318,19 +342,35 @@ class EnQodeEncoder:
             )
         return self._pipeline
 
-    def encode(self, sample: np.ndarray) -> EncodedSample:
+    def encode(
+        self,
+        sample: np.ndarray,
+        *,
+        normalize: bool = True,
+        pad_with: "float | None" = None,
+    ) -> EncodedSample:
         """Embed one sample via transfer learning (the "real-time" path).
 
         Compatibility shim: a :meth:`pipeline` run of batch size one in
         full-transpile mode, which preserves the historical one-off
         behaviour exactly (sequential scipy fine-tune, per-call
-        transpile).  Streaming callers should use
+        transpile).  ``normalize``/``pad_with`` are the PennyLane
+        ``AmplitudeEmbedding`` input conveniences of
+        :func:`repro.data.preprocess.prepare_amplitudes`; the defaults
+        are the historical behaviour.  Streaming callers should use
         :class:`repro.service.EncodingService` instead, which batches
         submissions into the template fast path.
         """
         if not self.is_fitted:
             raise OptimizationError("EnQodeEncoder.encode called before fit")
         sample = np.asarray(sample, dtype=float).ravel()
+        if pad_with is not None or not normalize:
+            sample = prepare_amplitudes(
+                sample,
+                self.config.num_amplitudes,
+                normalize=normalize,
+                pad_with=pad_with,
+            )[0]
         if sample.size != self.config.num_amplitudes:
             raise OptimizationError(
                 f"sample has {sample.size} amplitudes, expected "
@@ -339,7 +379,12 @@ class EnQodeEncoder:
         return self.pipeline.run(sample[None, :], use_template=False)[0]
 
     def encode_batch(
-        self, samples: np.ndarray, use_template: bool = True
+        self,
+        samples: np.ndarray,
+        use_template: bool = True,
+        *,
+        normalize: bool = True,
+        pad_with: "float | None" = None,
     ) -> list[EncodedSample]:
         """Embed a ``(B, 2^n)`` sample matrix through the batched fast path.
 
@@ -367,11 +412,20 @@ class EnQodeEncoder:
         hatch.  Per-sample ``compile_time`` reports each sample's share
         of the batch optimization (and of the one-time template build,
         on a cache miss) plus its own bind time, so the sum over a batch
-        tracks actual wall time.
+        tracks actual wall time.  ``normalize``/``pad_with`` are the
+        same ``AmplitudeEmbedding`` input conveniences as on
+        :meth:`encode`.
         """
         if not self.is_fitted:
             raise OptimizationError(
                 "EnQodeEncoder.encode_batch called before fit"
+            )
+        if pad_with is not None or not normalize:
+            samples = prepare_amplitudes(
+                samples,
+                self.config.num_amplitudes,
+                normalize=normalize,
+                pad_with=pad_with,
             )
         return self.pipeline.run(samples, use_template=use_template)
 

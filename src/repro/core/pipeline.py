@@ -167,7 +167,10 @@ class LowerStage:
     * :meth:`template` returns the cached parametric template for the
       pipeline's (ansatz, backend, optimization_level) — lowering is
       then one cheap vectorized angle re-bind for the whole batch
-      (:meth:`repro.transpile.template.ParametricTemplate.bind_batch`);
+      (:meth:`repro.transpile.template.ParametricTemplate.bind_batch`),
+      yielding lazy compact-IR circuits
+      (:class:`repro.transpile.bound.BoundCircuit`: packed angle arrays
+      per sample, instructions materialized only on demand);
     * :meth:`run` performs the full transpile of a logical circuit (the
       escape hatch, and the mode the one-off ``encode`` shim keeps for
       behavioural compatibility).
@@ -323,8 +326,12 @@ class EncodePipeline:
 
         With ``use_template`` the whole batch lowers through one
         vectorized :meth:`ParametricTemplate.bind_batch` sweep over the
-        cached parametric template (the batch/service fast path —
-        instruction-identical to per-sample binds); without it each
+        cached parametric template (the batch/service fast path); each
+        :attr:`EncodedSample.circuit` is then a lazy compact-IR view
+        (:class:`repro.transpile.bound.BoundCircuit`) that simulates
+        straight off the packed bind arrays and materializes an
+        instruction stream identical to a per-sample bind only when
+        iterated.  Without ``use_template`` each
         sample's logical circuit is built by the *bind* stage and fully
         transpiled (the one-off ``encode`` behaviour).  Per-sample
         ``compile_time`` carries an even share of the shared stage work

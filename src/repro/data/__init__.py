@@ -5,6 +5,7 @@ from repro.data.pca import PCA
 from repro.data.preprocess import (
     EmbeddingDataset,
     normalize_rows,
+    prepare_amplitudes,
     prepare_embedding_dataset,
 )
 from repro.data.synthetic import (
@@ -20,6 +21,7 @@ __all__ = [
     "load_all_datasets",
     "load_dataset",
     "normalize_rows",
+    "prepare_amplitudes",
     "prepare_embedding_dataset",
     "synthetic_cifar10",
     "synthetic_fashion_mnist",

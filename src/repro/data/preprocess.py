@@ -23,6 +23,64 @@ def normalize_rows(features: np.ndarray, min_norm: float = 1e-12) -> np.ndarray:
     return features / norms
 
 
+def prepare_amplitudes(
+    features: np.ndarray,
+    num_amplitudes: int,
+    *,
+    normalize: bool = True,
+    pad_with: "float | None" = None,
+    min_norm: float = 1e-12,
+) -> np.ndarray:
+    """Feature rows -> a ``(B, num_amplitudes)`` amplitude matrix.
+
+    The input conveniences of PennyLane's ``AmplitudeEmbedding``:
+
+    * ``pad_with`` — rows shorter than ``num_amplitudes`` are
+      right-padded with this constant (without it, any length mismatch
+      is an error); rows can never be *longer* than ``num_amplitudes``.
+    * ``normalize`` — scale every (padded) row to unit norm.  With
+      ``normalize=False`` rows must already be unit-norm (to 1e-6), as
+      amplitude embedding is undefined otherwise.
+
+    Accepts a single 1-d feature vector or a 2-d batch; always returns
+    the 2-d form.  Raises :class:`~repro.errors.DataError` on any
+    mismatch, so callers can tell input problems from optimization
+    failures.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    if features.ndim != 2:
+        raise DataError(
+            f"features must be 1-d or 2-d, got shape {features.shape}"
+        )
+    width = features.shape[1]
+    if width > num_amplitudes:
+        raise DataError(
+            f"feature rows of length {width} exceed the {num_amplitudes} "
+            f"available amplitudes"
+        )
+    if width < num_amplitudes:
+        if pad_with is None:
+            raise DataError(
+                f"feature rows of length {width} need {num_amplitudes} "
+                f"amplitudes; pass pad_with= to right-pad them"
+            )
+        padded = np.full(
+            (features.shape[0], num_amplitudes), float(pad_with)
+        )
+        padded[:, :width] = features
+        features = padded
+    norms = np.linalg.norm(features, axis=1, keepdims=True)
+    if np.any(norms < min_norm):
+        raise DataError("a sample has (near-)zero norm and cannot be embedded")
+    if normalize:
+        return features / norms
+    if np.any(np.abs(norms - 1.0) > 1e-6):
+        raise DataError(
+            "features are not unit-norm; pass normalize=True to scale them"
+        )
+    return features
+
+
 @dataclass
 class EmbeddingDataset:
     """A dataset ready for amplitude embedding."""

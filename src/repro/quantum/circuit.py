@@ -41,6 +41,26 @@ class QuantumCircuit:
         self.name = name
         self._instructions: list[Instruction] = []
 
+    @classmethod
+    def trusted(
+        cls,
+        num_qubits: int,
+        name: str,
+        instructions: list[Instruction],
+    ) -> "QuantumCircuit":
+        """Construct around an existing instruction list, no validation.
+
+        The array-backed bind paths (``ParametricTemplate.bind`` and
+        ``BoundCircuit.materialize``) already guarantee well-formed
+        instructions on in-range qubits; this skips the per-append
+        checks and takes ownership of ``instructions`` without copying.
+        """
+        circuit = object.__new__(cls)
+        circuit.num_qubits = num_qubits
+        circuit.name = name
+        circuit._instructions = instructions
+        return circuit
+
     # -- structural access --------------------------------------------------
 
     @property

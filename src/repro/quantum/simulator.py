@@ -21,9 +21,18 @@ from repro.quantum.statevector import Statevector
 
 
 class StatevectorSimulator:
-    """Ideal (noiseless) pure-state simulator."""
+    """Ideal (noiseless) pure-state simulator.
+
+    Circuits carrying the compact bound IR (``BoundCircuit`` — anything
+    exposing an ``ir_statevector`` hook) are evolved straight off their
+    packed angle arrays, bitwise identical to materialized evolution but
+    without building any instruction objects.
+    """
 
     def run(self, circuit: QuantumCircuit) -> Statevector:
+        ir_statevector = getattr(circuit, "ir_statevector", None)
+        if ir_statevector is not None:
+            return ir_statevector()
         return Statevector.zero_state(circuit.num_qubits).evolve(circuit)
 
 

@@ -191,5 +191,14 @@ class Statevector:
 
 
 def simulate_statevector(circuit: QuantumCircuit) -> Statevector:
-    """Run ``circuit`` from |0...0> and return the final state."""
+    """Run ``circuit`` from |0...0> and return the final state.
+
+    Compact-IR circuits (``BoundCircuit`` — anything exposing an
+    ``ir_statevector`` hook) evolve straight off their packed arrays,
+    bitwise identical to materialized evolution and without triggering
+    lazy instruction materialization.
+    """
+    ir_statevector = getattr(circuit, "ir_statevector", None)
+    if ir_statevector is not None:
+        return ir_statevector()
     return Statevector.zero_state(circuit.num_qubits).evolve(circuit)

@@ -72,7 +72,14 @@ class EncodeResponse:
 
     @property
     def circuit(self):
-        """The hardware-native embedding circuit."""
+        """The hardware-native embedding circuit.
+
+        On the template fast path this is a lazy compact-IR view
+        (:class:`repro.transpile.bound.BoundCircuit`): the response
+        holds packed bind arrays — a few hundred bytes per sample —
+        and only builds instruction objects if the caller iterates the
+        circuit; simulation answers straight off the arrays.
+        """
         return self.encoded.circuit
 
     def __repr__(self) -> str:

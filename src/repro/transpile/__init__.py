@@ -1,10 +1,13 @@
 """Transpilation: lowering circuits onto hardware backends."""
 
+from repro.transpile.bound import BoundCircuit, BoundCircuitBatch
 from repro.transpile.decompositions import decompose_to_cx, expand_cx
 from repro.transpile.euler import (
+    PackedSynthesis,
     physical_1q_cost,
     synthesize_1q,
     synthesize_1q_batch,
+    synthesize_1q_packed_batch,
     zyz_decompose,
 )
 from repro.transpile.layout import Layout
@@ -29,9 +32,12 @@ from repro.transpile.template import (
 from repro.transpile.transpiler import TranspileResult, transpile
 
 __all__ = [
+    "BoundCircuit",
+    "BoundCircuitBatch",
     "CircuitMetrics",
     "GLOBAL_TEMPLATE_CACHE",
     "Layout",
+    "PackedSynthesis",
     "ParametricTemplate",
     "RoutingResult",
     "TemplateCache",
@@ -47,6 +53,7 @@ __all__ = [
     "schedule_duration",
     "synthesize_1q",
     "synthesize_1q_batch",
+    "synthesize_1q_packed_batch",
     "translate_1q",
     "transpile",
     "transpile_template",

@@ -156,34 +156,117 @@ def synthesize_1q(matrix: np.ndarray, atol: float = 1e-9) -> list[NativeOp]:
 #: Parameterless native ops are immutable — emit one shared tuple.
 _SX_OP: NativeOp = ("sx", ())
 
+#: Row kinds in a :class:`PackedSynthesis`.
+PACKED_GENERIC = 0  # generic ZXZXZ row: angles carry (w_lam, w_mid, w_phi)
+PACKED_DROPPED = 1  # identity up to phase: the row emits nothing
+PACKED_SPECIAL = 2  # 0/1-SX special case: ops live in ``specials``
 
-def synthesize_1q_program_batch(
+
+class PackedSynthesis:
+    """Array-backed result of a batched ZYZ synthesis — the compact IR.
+
+    For ``B`` synthesized unitaries this stores
+
+    * ``angles`` — ``(B, 3)`` float64, the generic ZXZXZ pattern per row
+      read as ``rz(angles[0]) sx rz(angles[1]) sx rz(angles[2])``, with
+      ``NaN`` marking an Rz whose wrapped angle fell below ``atol``
+      (``NaN`` cannot be a legitimate wrapped angle);
+    * ``kinds`` — ``(B,)`` uint8 of ``PACKED_GENERIC`` /
+      ``PACKED_DROPPED`` / ``PACKED_SPECIAL`` row discriminators;
+    * ``specials`` — ``{row: list[NativeOp]}`` for the (masked minority
+      of) rows synthesized by the scalar 0/1-SX fallback.
+
+    This is the per-sample payload of the bound-circuit IR: three
+    doubles and one byte per merged run instead of an instruction-object
+    graph.  :meth:`to_program_rows` expands to the legacy per-row
+    program encoding (``None`` / 3-tuple / op list) with identical float
+    bits.
+    """
+
+    __slots__ = ("angles", "kinds", "specials")
+
+    def __init__(
+        self,
+        angles: np.ndarray,
+        kinds: np.ndarray,
+        specials: "dict[int, list[NativeOp]]",
+    ) -> None:
+        self.angles = angles
+        self.kinds = kinds
+        self.specials = specials
+
+    def __len__(self) -> int:
+        return self.kinds.shape[0]
+
+    def sliced(self, start: int, stop: int) -> "PackedSynthesis":
+        """Row-range view (array slices share memory with the parent)."""
+        specials = {
+            row - start: ops
+            for row, ops in self.specials.items()
+            if start <= row < stop
+        }
+        return PackedSynthesis(
+            self.angles[start:stop], self.kinds[start:stop], specials
+        )
+
+    def ops_in_row(self, row: int) -> int:
+        """Number of native ops the row expands to."""
+        kind = self.kinds[row]
+        if kind == PACKED_DROPPED:
+            return 0
+        if kind == PACKED_SPECIAL:
+            return len(self.specials[row])
+        angles = self.angles[row]
+        # NaN != NaN marks the skipped Rz slots; the two SX are fixed.
+        return 2 + int(np.count_nonzero(angles == angles))
+
+    def count_row_into(self, row: int, counts: "dict[str, int]") -> None:
+        """Accumulate the row's gate-name histogram into ``counts``."""
+        kind = self.kinds[row]
+        if kind == PACKED_DROPPED:
+            return
+        if kind == PACKED_SPECIAL:
+            for name, _ in self.specials[row]:
+                counts[name] = counts.get(name, 0) + 1
+            return
+        counts["sx"] = counts.get("sx", 0) + 2
+        angles = self.angles[row]
+        num_rz = int(np.count_nonzero(angles == angles))
+        if num_rz:
+            counts["rz"] = counts.get("rz", 0) + num_rz
+
+    def to_program_rows(self) -> list:
+        """Expand to the per-row program encoding (see
+        :func:`synthesize_1q_program_batch`), float bits preserved."""
+        program: list = [None] * len(self)
+        generic = np.flatnonzero(self.kinds == PACKED_GENERIC)
+        if generic.size:
+            triples = self.angles[generic].tolist()
+            for row, triple in zip(generic.tolist(), triples):
+                program[row] = tuple(triple)
+        for row, ops in self.specials.items():
+            program[row] = ops
+        return program
+
+
+def synthesize_1q_packed_batch(
     matrices: np.ndarray,
     atol: float = 1e-9,
     *,
     drop_identity: bool = False,
     identity_atol: float = 1e-12,
     identity_rtol: float = 1e-5,
-) -> list:
-    """Batched ZYZ synthesis in the compact "bind program" encoding.
+) -> PackedSynthesis:
+    """Batched ZYZ synthesis into the packed array encoding.
 
-    The workhorse behind :func:`synthesize_1q_batch` (same numerics,
-    same per-row guarantees — see there).  Each returned row is one of
-
-    * ``None`` — the row was identity up to phase (only with
-      ``drop_identity``) and emits nothing;
-    * a 3-tuple ``(w_lam, w_mid, w_phi)`` — the generic ZXZXZ case,
-      read as ``rz(w_lam) sx rz(w_mid) sx rz(w_phi)`` where a ``NaN``
-      component marks an Rz whose wrapped angle fell below ``atol``
-      and is skipped (``NaN`` cannot be a legitimate wrapped angle, and
-      the marker lets the whole batch be assembled from C-speed
-      ``np.where``/``zip`` passes instead of per-row Python branches);
-    * a ``list[NativeOp]`` — a 0/1-SX special case synthesized by the
-      scalar fallback.
-
-    Hot-loop consumers (the parametric transpile template) emit native
-    instructions straight off this encoding; everyone else should use
-    :func:`synthesize_1q_batch`, which expands it to op lists.
+    The workhorse behind :func:`synthesize_1q_program_batch` and
+    :func:`synthesize_1q_batch` (same numerics, same per-row bit-exactness
+    guarantees — see the latter's docstring for the full argument).  The
+    result stays in array form — per-row wrapped angles with NaN-marked
+    skipped Rz slots plus a ``kinds`` discriminator — which is exactly
+    the payload the bound-circuit IR
+    (:class:`repro.transpile.bound.BoundCircuitBatch`) keeps per sample:
+    no per-gate Python objects are built here at all.
     """
     u = np.asarray(matrices, dtype=complex)
     if u.ndim != 3 or u.shape[1:] != (2, 2):
@@ -191,9 +274,10 @@ def synthesize_1q_program_batch(
             f"expected a (B, 2, 2) matrix stack, got shape {u.shape}"
         )
     num_rows = u.shape[0]
-    skeleton: list = [None] * num_rows
+    all_kinds = np.zeros(num_rows, dtype=np.uint8)
+    all_angles = np.full((num_rows, 3), np.nan)
     if num_rows == 0:
-        return skeleton
+        return PackedSynthesis(all_angles, all_kinds, {})
     u00, u01 = u[:, 0, 0], u[:, 0, 1]
     u10, u11 = u[:, 1, 0], u[:, 1, 1]
     if drop_identity:
@@ -210,9 +294,10 @@ def synthesize_1q_program_batch(
             )
         )
         if dropped.any():
+            all_kinds[dropped] = PACKED_DROPPED
             kept = np.flatnonzero(~dropped)
             if kept.size == 0:
-                return skeleton
+                return PackedSynthesis(all_angles, all_kinds, {})
             u00, u01 = u00[kept], u01[kept]
             u10, u11 = u10[kept], u11[kept]
         else:
@@ -264,16 +349,18 @@ def synthesize_1q_program_batch(
     # differently from libm's atan2 in the last ulp, so the three
     # atan2-class calls per row (theta and the two cmath.phase values,
     # which are atan2(imag, real) for finite entries) run through
-    # math.atan2 in tight list comprehensions.
+    # math.atan2 via map + np.fromiter, the cheapest scalar loop that
+    # keeps libm rounding.
     atan2 = math.atan2
-    theta = 2.0 * np.asarray(
-        [atan2(y, x) for y, x in zip(a10.tolist(), a00.tolist())]
+    count = a00.shape[0]
+    theta = 2.0 * np.fromiter(
+        map(atan2, a10.tolist(), a00.tolist()), np.float64, count=count
     )
-    phase10 = np.asarray(
-        [atan2(y, x) for y, x in zip(su10_i.tolist(), su10_r.tolist())]
+    phase10 = np.fromiter(
+        map(atan2, su10_i.tolist(), su10_r.tolist()), np.float64, count=count
     )
-    phase11 = np.asarray(
-        [atan2(y, x) for y, x in zip(su11_i.tolist(), su11_r.tolist())]
+    phase11 = np.fromiter(
+        map(atan2, su11_i.tolist(), su11_r.tolist()), np.float64, count=count
     )
     phi_plus_lam = 2.0 * phase11
     phi_minus_lam = 2.0 * phase10
@@ -290,31 +377,67 @@ def synthesize_1q_program_batch(
         | (np.abs(_wrap_angles(theta - math.pi)) <= atol)
         | (np.abs(_wrap_angles(theta - math.pi / 2.0)) <= atol)
     )
-    # Vectorized ZXZXZ program assembly for the general rows: below-atol
-    # Rz slots become NaN markers, and zip() builds all row tuples at C
-    # speed.
+    # Vectorized ZXZXZ assembly for the general rows: below-atol Rz
+    # slots become NaN markers, scattered into the packed angle array in
+    # three C-speed passes instead of per-row Python branches.
     wrapped_lam = _wrap_angles(lam)
     wrapped_mid = _wrap_angles(theta + math.pi)
     wrapped_phi = _wrap_angles(phi + math.pi)
-    entries = list(
-        zip(
-            np.where(np.abs(wrapped_lam) > atol, wrapped_lam, np.nan).tolist(),
-            np.where(np.abs(wrapped_mid) > atol, wrapped_mid, np.nan).tolist(),
-            np.where(np.abs(wrapped_phi) > atol, wrapped_phi, np.nan).tolist(),
-        )
+    marked = np.stack(
+        (
+            np.where(np.abs(wrapped_lam) > atol, wrapped_lam, np.nan),
+            np.where(np.abs(wrapped_mid) > atol, wrapped_mid, np.nan),
+            np.where(np.abs(wrapped_phi) > atol, wrapped_phi, np.nan),
+        ),
+        axis=1,
     )
     if kept is None:
-        program: list = entries
+        all_angles = marked
     else:
-        program = skeleton
-        for j, row in enumerate(kept.tolist()):
-            program[row] = entries[j]
+        all_angles[kept] = marked
+    specials: "dict[int, list[NativeOp]]" = {}
     if special.any():
         rows_list = rows.tolist()
         for j in np.flatnonzero(special).tolist():
             row = rows_list[j]
-            program[row] = synthesize_1q(u[row], atol)
-    return program
+            all_kinds[row] = PACKED_SPECIAL
+            specials[row] = synthesize_1q(u[row], atol)
+    return PackedSynthesis(all_angles, all_kinds, specials)
+
+
+def synthesize_1q_program_batch(
+    matrices: np.ndarray,
+    atol: float = 1e-9,
+    *,
+    drop_identity: bool = False,
+    identity_atol: float = 1e-12,
+    identity_rtol: float = 1e-5,
+) -> list:
+    """Batched ZYZ synthesis in the compact "bind program" encoding.
+
+    Thin expansion of :func:`synthesize_1q_packed_batch` (same numerics,
+    same per-row guarantees).  Each returned row is one of
+
+    * ``None`` — the row was identity up to phase (only with
+      ``drop_identity``) and emits nothing;
+    * a 3-tuple ``(w_lam, w_mid, w_phi)`` — the generic ZXZXZ case,
+      read as ``rz(w_lam) sx rz(w_mid) sx rz(w_phi)`` where a ``NaN``
+      component marks an Rz whose wrapped angle fell below ``atol``
+      and is skipped;
+    * a ``list[NativeOp]`` — a 0/1-SX special case synthesized by the
+      scalar fallback.
+
+    Hot-loop consumers (the parametric transpile template's bound IR)
+    consume the packed form directly; this per-row encoding serves
+    :func:`synthesize_1q_batch` and any caller that wants Python rows.
+    """
+    return synthesize_1q_packed_batch(
+        matrices,
+        atol,
+        drop_identity=drop_identity,
+        identity_atol=identity_atol,
+        identity_rtol=identity_rtol,
+    ).to_program_rows()
 
 
 def synthesize_1q_batch(

@@ -13,13 +13,18 @@ one-qubit lowering stage into a small "bind program".  Per-sample
 transpilation then reduces to :meth:`ParametricTemplate.bind`: substitute
 the sample's angles into the program and re-synthesize only the one-qubit
 runs that contain a parameter (a handful of 2x2 products and ZYZ
-decompositions).  :meth:`ParametricTemplate.bind_batch` lowers a whole
+decompositions).  :meth:`ParametricTemplate.bind_batch_ir` lowers a whole
 ``(B, P)`` angle matrix in one vectorized sweep — stacked ``(B, 2, 2)``
-run compositions and a batched ZYZ resynthesis
-(:func:`repro.transpile.euler.synthesize_1q_batch`) — producing the
-same instruction streams as ``B`` sequential binds at a fraction of the
-cost (the batch-encode and serving fast path).  The bound circuit is
-**instruction-for-instruction identical** to what
+run compositions and a batched packed ZYZ resynthesis
+(:func:`repro.transpile.euler.synthesize_1q_packed_batch`) — into the
+**compact array IR** (:class:`repro.transpile.bound.BoundCircuitBatch`):
+per sample, only packed angle rows and kind bytes, no ``Gate``/
+``Instruction`` objects at all.  :meth:`ParametricTemplate.bind_batch`
+wraps each IR row as a lazy :class:`repro.transpile.bound.BoundCircuit`
+(the batch-encode and serving fast path); simulation and gate counts
+answer straight off the arrays, and materializing on first instruction
+access yields the same instruction streams as ``B`` sequential binds.
+The bound circuit is **instruction-for-instruction identical** to what
 :func:`repro.transpile.transpiler.transpile` would produce for the same
 angles — both bind modes are asserted against a reference transpile
 when the template is built.
@@ -45,10 +50,17 @@ import numpy as np
 
 from repro.errors import TranspilerError
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.gates import Gate, gate
+from repro.quantum.gates import Gate, _rz_matrix, gate
 from repro.quantum.instruction import Instruction
+from repro.quantum.statevector import apply_gate_to_tensor
+from repro.transpile.bound import BoundCircuitBatch
 from repro.transpile.decompositions import decompose_to_cx, expand_cx
-from repro.transpile.euler import synthesize_1q, synthesize_1q_program_batch
+from repro.transpile.euler import (
+    PACKED_DROPPED,
+    PACKED_SPECIAL,
+    synthesize_1q,
+    synthesize_1q_packed_batch,
+)
 from repro.transpile.passes import cancel_adjacent_cx
 from repro.transpile.routing import route
 from repro.transpile.transpiler import TranspileResult, transpile
@@ -93,15 +105,17 @@ def _rz_matrix_stack(theta: np.ndarray) -> np.ndarray:
 
 
 def _rz_matrix_stack_batch(thetas: np.ndarray) -> np.ndarray:
-    """Rz matrices for a whole ``(B, l)`` angle matrix as ``(B, l, 2, 2)``.
+    """Rz matrices for a whole ``(B, P)`` angle matrix as ``(P, B, 2, 2)``.
 
-    Row ``b`` is entrywise bit-identical to ``_rz_matrix_stack(
-    thetas[b])`` — the same ``0.5j *`` / negate / ``exp`` ufunc sequence
-    runs elementwise over the larger array — so a batched bind composes
-    exactly the matrices the per-sample binds would.
+    Parameter-major layout so a run group can gather all its rows for
+    one parameter as a single leading-axis index.  Entry ``[p, b]`` is
+    bit-identical to ``_rz_matrix_stack(thetas[b])[p]`` — the same
+    ``0.5j *`` / negate / ``exp`` ufunc sequence runs elementwise over
+    the (transposed view of the) larger array — so a batched bind
+    composes exactly the matrices the per-sample binds would.
     """
-    half = 0.5j * thetas
-    stack = np.zeros(thetas.shape + (2, 2), dtype=complex)
+    half = 0.5j * thetas.T
+    stack = np.zeros(half.shape + (2, 2), dtype=complex)
     stack[..., 0, 0] = np.exp(-half)
     stack[..., 1, 1] = np.exp(half)
     return stack
@@ -125,18 +139,19 @@ class _FixedBlock:
     ) -> None:
         out.extend(self.instructions)
 
-    def emit_batch(
-        self,
-        thetas: np.ndarray,
-        rz_stack: np.ndarray,
-        outs: list[list[Instruction]],
-    ) -> None:
-        # Every row extends with the *same* instruction objects: fixed
-        # blocks are immutable, so the batch shares them instead of
-        # rebuilding per-row copies.
-        instructions = self.instructions
-        for out in outs:
-            out.extend(instructions)
+    def emit_ir(self, bound, row: int, out: list[Instruction]) -> None:
+        # Every materialized row extends with the *same* instruction
+        # objects: fixed blocks are immutable, so all binds share them.
+        out.extend(self.instructions)
+
+    def apply_ir(
+        self, bound, row: int, tensor: np.ndarray, num_qubits: int
+    ) -> np.ndarray:
+        for instr in self.instructions:
+            tensor = apply_gate_to_tensor(
+                tensor, instr.gate.matrix, instr.qubits, num_qubits
+            )
+        return tensor
 
 
 class _ParametricRun:
@@ -152,25 +167,31 @@ class _ParametricRun:
     change the association order; near the +-pi branch cut of the Euler
     angles that 1-ulp difference flips an Rz sign.)
 
-    :meth:`compose_batch` performs the same composition for all ``B``
-    rows at once as stacked ``(B, 2, 2)`` matmuls.  numpy's matmul runs
+    Batched binds do not compose runs one by one: every run belongs to
+    a :class:`_RunGroup` of runs sharing the same fixed/param chain
+    signature, and the group composes all its runs for all ``B`` rows
+    at once as stacked ``(G, B, 2, 2)`` matmuls.  numpy's matmul runs
     one inner 2x2 kernel per stack slice — the identical kernel the 2D
     products above use — so every row's accumulated matrix is
     bit-identical to its sequential bind, and the batched ZYZ
-    (:func:`repro.transpile.euler.synthesize_1q_batch`, one sweep over
-    all runs of the bind, consumed via :meth:`emit_ops_batch`) then
-    emits exactly the sequential instruction stream.  A fixed prefix of
-    the chain is composed once and broadcast (the association order is
-    unchanged — it is the same product sequence, computed once instead
-    of per row).
+    (:func:`repro.transpile.euler.synthesize_1q_packed_batch`, one
+    sweep over all runs of the bind) stays packed inside the bound IR —
+    :meth:`emit_ir` expands a row to exactly the sequential instruction
+    stream on demand, and :meth:`apply_ir` simulates it without any
+    instruction objects.
+
+    ``index`` is the run's position in the template's
+    ``_parametric_runs`` list — the key into the bound IR's per-run
+    packed-synthesis slices.
     """
 
-    __slots__ = ("qubit", "qubit_tuple", "elements", "_sx", "_x")
+    __slots__ = ("qubit", "qubit_tuple", "elements", "index", "_sx", "_x")
 
     def __init__(self, qubit: int, elements: list) -> None:
         self.qubit = qubit
         self.qubit_tuple = (qubit,)
         self.elements = elements
+        self.index = -1  # assigned by ParametricTemplate
         # Parameterless instructions are immutable: all binds (and all
         # rows of a batched bind) share these two objects.
         self._sx = Instruction.trusted(_SX_GATE, self.qubit_tuple)
@@ -192,50 +213,77 @@ class _ParametricRun:
             return
         self._append_ops(synthesize_1q(matrix), out)
 
-    def compose_batch(self, rz_stack: np.ndarray) -> np.ndarray:
-        """The run's merged matrices for all rows, as ``(B, 2, 2)``."""
-        matrix = None
-        for element in self.elements:
-            # Fixed elements stay (2, 2) until the first parameter makes
-            # the product per-row; matmul broadcasting applies the same
-            # 2x2 kernel either way, so each row's product sequence is
-            # the one ``emit`` computes.
-            step = (
-                element
-                if isinstance(element, np.ndarray)
-                else rz_stack[:, element]
-            )
-            matrix = step if matrix is None else step @ matrix
-        return matrix
+    def emit_ir(self, bound, row: int, out: list[Instruction]) -> None:
+        """Materialize one bound row from its packed synthesis.
 
-    def emit_program_batch(
-        self, program_rows: list, outs: list[list[Instruction]]
-    ) -> None:
-        """Emit pre-synthesized compact program rows.
-
-        ``program_rows`` uses the encoding of
-        :func:`repro.transpile.euler.synthesize_1q_program_batch`:
-        ``None`` drops the run, a ``(w_lam, w_mid, w_phi)`` tuple is the
-        generic ZXZXZ pattern with NaN-marked skipped Rz slots, and a
-        plain op list covers the scalar-synthesized special cases.
+        Reads the :class:`repro.transpile.euler.PackedSynthesis` slice
+        the bind stored for this run: a dropped row emits nothing, a
+        special row replays the scalar-synthesized op list, and the
+        generic ZXZXZ row expands its NaN-marked angle triple — the
+        identical floats (``.tolist()`` of the same array entries) the
+        eager bind emits.
         """
+        packed = bound.packed[self.index]
+        kind = packed.kinds[row]
+        if kind == PACKED_DROPPED:
+            return
+        if kind == PACKED_SPECIAL:
+            self._append_ops(packed.specials[row], out)
+            return
+        w_lam, w_mid, w_phi = packed.angles[row].tolist()
         qubit_tuple = self.qubit_tuple
-        sx = self._sx
         trusted_rz = Instruction.trusted_rz
-        append_ops = self._append_ops
-        for out, entry in zip(outs, program_rows):
-            if type(entry) is tuple:
-                w_lam, w_mid, w_phi = entry
-                if w_lam == w_lam:  # NaN marks a skipped Rz slot
-                    out.append(trusted_rz(w_lam, qubit_tuple))
-                out.append(sx)
-                if w_mid == w_mid:
-                    out.append(trusted_rz(w_mid, qubit_tuple))
-                out.append(sx)
-                if w_phi == w_phi:
-                    out.append(trusted_rz(w_phi, qubit_tuple))
-            elif entry is not None:
-                append_ops(entry, out)
+        if w_lam == w_lam:  # NaN marks a skipped Rz slot
+            out.append(trusted_rz(w_lam, qubit_tuple))
+        out.append(self._sx)
+        if w_mid == w_mid:
+            out.append(trusted_rz(w_mid, qubit_tuple))
+        out.append(self._sx)
+        if w_phi == w_phi:
+            out.append(trusted_rz(w_phi, qubit_tuple))
+
+    def apply_ir(
+        self, bound, row: int, tensor: np.ndarray, num_qubits: int
+    ) -> np.ndarray:
+        """Apply one bound row's gates straight off the packed arrays.
+
+        Builds each Rz matrix with the gate library's ``_rz_matrix`` —
+        the same constructor a materialized lazy Rz gate uses — and the
+        shared SX/X matrices, so the contraction sequence is bitwise the
+        one ``Statevector.evolve`` performs on the materialized row.
+        """
+        packed = bound.packed[self.index]
+        kind = packed.kinds[row]
+        if kind == PACKED_DROPPED:
+            return tensor
+        qubits = self.qubit_tuple
+        if kind == PACKED_SPECIAL:
+            for name, params in packed.specials[row]:
+                if name == "rz":
+                    matrix = _rz_matrix(params[0])
+                elif name == "sx":
+                    matrix = _SX_GATE.matrix
+                else:
+                    matrix = _X_GATE.matrix
+                tensor = apply_gate_to_tensor(tensor, matrix, qubits, num_qubits)
+            return tensor
+        w_lam, w_mid, w_phi = packed.angles[row].tolist()
+        sx_matrix = _SX_GATE.matrix
+        if w_lam == w_lam:
+            tensor = apply_gate_to_tensor(
+                tensor, _rz_matrix(w_lam), qubits, num_qubits
+            )
+        tensor = apply_gate_to_tensor(tensor, sx_matrix, qubits, num_qubits)
+        if w_mid == w_mid:
+            tensor = apply_gate_to_tensor(
+                tensor, _rz_matrix(w_mid), qubits, num_qubits
+            )
+        tensor = apply_gate_to_tensor(tensor, sx_matrix, qubits, num_qubits)
+        if w_phi == w_phi:
+            tensor = apply_gate_to_tensor(
+                tensor, _rz_matrix(w_phi), qubits, num_qubits
+            )
+        return tensor
 
     def _append_ops(self, ops, out: list[Instruction]) -> None:
         qubit_tuple = self.qubit_tuple
@@ -247,6 +295,64 @@ class _ParametricRun:
                 out.append(self._sx)
             else:
                 out.append(self._x)
+
+
+class _RunGroup:
+    """Parametric runs sharing one fixed/param chain signature.
+
+    Runs with the same element pattern (e.g. ``fixed, param, fixed,
+    fixed``) perform the same *sequence* of 2x2 products, just with
+    different operands — so the whole group composes as one stacked
+    ``(G, B, 2, 2)`` matmul chain instead of ``G`` separate ``(B, 2,
+    2)`` chains.  Each step is prebuilt at template construction: fixed
+    positions stack their ``G`` matrices into a broadcastable ``(G, 1,
+    2, 2)`` array once, parameter positions keep a ``(G,)`` index into
+    the parameter-major Rz stack.  Per row and run the product sequence
+    (operands, association order, matmul kernel) is exactly the one the
+    eager ``emit`` computes, so the composed matrices — and everything
+    the ZYZ synthesis derives from them — stay bit-identical.
+    """
+
+    __slots__ = ("runs", "steps")
+
+    def __init__(self, runs: "list[_ParametricRun]") -> None:
+        self.runs = runs
+        self.steps: list = []
+        for position, element in enumerate(runs[0].elements):
+            if isinstance(element, np.ndarray):
+                stacked = np.stack(
+                    [run.elements[position] for run in runs]
+                )[:, None]
+                self.steps.append((True, stacked))
+            else:
+                params = np.asarray(
+                    [run.elements[position] for run in runs], dtype=np.intp
+                )
+                self.steps.append((False, params))
+
+    def compose_batch(self, rz_stack: np.ndarray) -> np.ndarray:
+        """All runs' merged matrices for all rows, as ``(G, B, 2, 2)``.
+
+        ``rz_stack`` is the bind's parameter-major ``(P, B, 2, 2)``
+        Rz-matrix stack.
+        """
+        matrix = None
+        for is_fixed, data in self.steps:
+            step = data if is_fixed else rz_stack[data]
+            matrix = step if matrix is None else step @ matrix
+        return matrix
+
+
+def _group_parametric_runs(
+    runs: "list[_ParametricRun]",
+) -> "list[_RunGroup]":
+    groups: dict[tuple, list] = {}
+    for run in runs:
+        signature = tuple(
+            isinstance(element, np.ndarray) for element in run.elements
+        )
+        groups.setdefault(signature, []).append(run)
+    return [_RunGroup(members) for members in groups.values()]
 
 
 class _ParametricRz:
@@ -265,15 +371,22 @@ class _ParametricRz:
             Instruction.trusted_rz(float(theta[self.param]), self.qubit_tuple)
         )
 
-    def emit_batch(
-        self,
-        thetas: np.ndarray,
-        rz_stack: np.ndarray,
-        outs: list[list[Instruction]],
-    ) -> None:
-        qubit_tuple = self.qubit_tuple
-        for out, angle in zip(outs, thetas[:, self.param].tolist()):
-            out.append(Instruction.trusted_rz(angle, qubit_tuple))
+    def emit_ir(self, bound, row: int, out: list[Instruction]) -> None:
+        out.append(
+            Instruction.trusted_rz(
+                float(bound.thetas[row, self.param]), self.qubit_tuple
+            )
+        )
+
+    def apply_ir(
+        self, bound, row: int, tensor: np.ndarray, num_qubits: int
+    ) -> np.ndarray:
+        return apply_gate_to_tensor(
+            tensor,
+            _rz_matrix(float(bound.thetas[row, self.param])),
+            self.qubit_tuple,
+            num_qubits,
+        )
 
 
 class ParametricTemplate:
@@ -336,8 +449,38 @@ class ParametricTemplate:
         self._parametric_runs = [
             step for step in self._program if isinstance(step, _ParametricRun)
         ]
+        for index, run in enumerate(self._parametric_runs):
+            run.index = index
+        self._run_groups = _group_parametric_runs(self._parametric_runs)
         self._needs_rz_stack = bool(self._parametric_runs)
+        self._compute_skeleton_stats()
         self._verify_against_reference()
+
+    def _compute_skeleton_stats(self) -> None:
+        """Precompute the angle-independent gate accounting.
+
+        Every bound sample shares the same fixed blocks and emits exactly
+        one Rz per native-Rz step, so the skeleton histogram, length, and
+        2q count are template facts — the bound IR answers structural
+        queries (``count_ops``, ``num_gates``) from these plus a per-run
+        array scan, no instruction list required.
+        """
+        counts: dict[str, int] = {}
+        length = 0
+        two_qubit = 0
+        for step in self._program:
+            if isinstance(step, _FixedBlock):
+                for instr in step.instructions:
+                    counts[instr.name] = counts.get(instr.name, 0) + 1
+                    if instr.gate.num_qubits == 2:
+                        two_qubit += 1
+                length += len(step.instructions)
+            elif isinstance(step, _ParametricRz):
+                counts["rz"] = counts.get("rz", 0) + 1
+                length += 1
+        self._skeleton_counts = counts
+        self._skeleton_length = length
+        self._skeleton_two_qubit = two_qubit
 
     # -- binding -------------------------------------------------------------
 
@@ -359,23 +502,26 @@ class ParametricTemplate:
         for step in self._program:
             step.emit(theta, rz_stack, instructions)
         self.num_binds += 1
-        return self._wrap_result(instructions)
+        return self._wrap_result(
+            QuantumCircuit.trusted(self._num_qubits, self._name, instructions)
+        )
 
-    def bind_batch(self, thetas: np.ndarray) -> list[TranspileResult]:
-        """Instantiate the template for a whole ``(B, P)`` angle matrix.
+    def bind_batch_ir(self, thetas: np.ndarray) -> BoundCircuitBatch:
+        """Lower a whole ``(B, P)`` angle matrix into the compact IR.
 
-        Lowers the entire batch in one vectorized sweep — one stacked
-        ``(B, P, 2, 2)`` Rz-matrix construction, stacked ``(B, 2, 2)``
-        run compositions, and one batched ZYZ resynthesis per parametric
-        run — instead of ``B`` Python-level :meth:`bind` walks.  The
-        result is **instruction-for-instruction identical** to
-        ``[self.bind(t) for t in thetas]`` (bit-identical angles
-        included: every floating-point kernel in the sweep reproduces
-        the per-sample path exactly — see
-        :func:`repro.transpile.euler.synthesize_1q_batch`), and
-        :attr:`num_binds` advances by ``B``, exactly as the loop would.
-        This is the bind engine behind ``encode_batch`` and the
-        serving layer's micro-batch flushes.
+        One vectorized sweep — a stacked ``(B, P, 2, 2)`` Rz-matrix
+        construction, stacked ``(B, 2, 2)`` run compositions, and a
+        single batched ZYZ resynthesis across all runs — whose result
+        **stays in array form**: per run, a row-sliced
+        :class:`repro.transpile.euler.PackedSynthesis` (three wrapped
+        angles + a kind byte per row).  No ``Gate``/``Instruction``
+        objects are constructed.  Materializing any row of the returned
+        :class:`repro.transpile.bound.BoundCircuitBatch` yields an
+        instruction stream float-bit identical to :meth:`bind` of that
+        row (every floating-point kernel in the sweep reproduces the
+        per-sample path exactly — see
+        :func:`repro.transpile.euler.synthesize_1q_batch`).
+        :attr:`num_binds` advances by ``B``, as a bind loop would.
         """
         thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
         if thetas.ndim != 2 or thetas.shape[1] != self.ansatz.num_parameters:
@@ -384,43 +530,59 @@ class ParametricTemplate:
                 f"got {thetas.shape}"
             )
         batch = thetas.shape[0]
-        if batch == 0:
-            return []
-        rz_stack = (
-            _rz_matrix_stack_batch(thetas) if self._needs_rz_stack else None
-        )
-        # One ZYZ sweep over every (run, row) pair: each parametric run
-        # composes its (B, 2, 2) stack, and a single batched synthesis
-        # call amortizes the vectorization overhead across all runs
-        # instead of paying it once per run.
-        programs_by_run: dict[int, list] = {}
-        if self._parametric_runs:
-            all_rows = synthesize_1q_program_batch(
+        packed: list = []
+        if batch and self._parametric_runs:
+            rz_stack = _rz_matrix_stack_batch(thetas)
+            # One ZYZ sweep over every (run, row) pair: each signature
+            # group composes all its runs as one stacked (G, B, 2, 2)
+            # matmul chain, and a single batched synthesis call
+            # amortizes the vectorization overhead across all runs
+            # instead of paying it once per run.  The concatenated
+            # sweep is group-major, so per-run slices are recovered by
+            # walking the groups in the same order.
+            sweep = synthesize_1q_packed_batch(
                 np.concatenate(
-                    [run.compose_batch(rz_stack) for run in self._parametric_runs]
+                    [
+                        group.compose_batch(rz_stack).reshape(-1, 2, 2)
+                        for group in self._run_groups
+                    ]
                 ),
                 drop_identity=True,
                 identity_atol=_IDENTITY_ATOL,
                 identity_rtol=_ALLCLOSE_RTOL,
             )
-            for index, run in enumerate(self._parametric_runs):
-                programs_by_run[id(run)] = all_rows[
-                    index * batch : (index + 1) * batch
-                ]
-        per_row: list[list[Instruction]] = [[] for _ in range(batch)]
-        for step in self._program:
-            if isinstance(step, _ParametricRun):
-                step.emit_program_batch(programs_by_run[id(step)], per_row)
-            else:
-                step.emit_batch(thetas, rz_stack, per_row)
+            packed = [None] * len(self._parametric_runs)
+            offset = 0
+            for group in self._run_groups:
+                for run in group.runs:
+                    packed[run.index] = sweep.sliced(offset, offset + batch)
+                    offset += batch
         self.num_binds += batch
-        return [self._wrap_result(instructions) for instructions in per_row]
+        return BoundCircuitBatch(self, thetas, packed)
+
+    def bind_batch(self, thetas: np.ndarray) -> list[TranspileResult]:
+        """Instantiate the template for a whole ``(B, P)`` angle matrix.
+
+        Delegates the numeric lowering to :meth:`bind_batch_ir` and
+        wraps each row as a :class:`TranspileResult` whose ``circuit``
+        is a **lazy** :class:`repro.transpile.bound.BoundCircuit` view:
+        structural queries and statevector simulation answer straight
+        from the packed arrays, and the instruction list materializes on
+        first access — at which point it is
+        **instruction-for-instruction identical** to
+        ``[self.bind(t) for t in thetas]`` (bit-identical angles
+        included).  This is the bind engine behind ``encode_batch`` and
+        the serving layer's micro-batch flushes.
+        """
+        bound = self.bind_batch_ir(thetas)
+        return [
+            self._wrap_result(bound.circuit(row))
+            for row in range(bound.batch_size)
+        ]
 
     # -- internals -----------------------------------------------------------
 
-    def _wrap_result(self, instructions: list[Instruction]) -> TranspileResult:
-        circuit = QuantumCircuit(self._num_qubits, name=self._name)
-        circuit._instructions = instructions
+    def _wrap_result(self, circuit: QuantumCircuit) -> TranspileResult:
         return TranspileResult(
             circuit=circuit,
             initial_layout=self._initial_layout.copy(),

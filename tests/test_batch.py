@@ -235,6 +235,39 @@ def test_batch_objective_matches_per_sample(segment4):
         np.testing.assert_allclose(grads[b], grad, atol=1e-12)
 
 
+def test_batch_objective_fused_pass_matches_reference(segment4):
+    """The fused single-gemm value_and_grad equals the unfused formula.
+
+    Reference: separate cos/sin passes, two independent term matrices,
+    and two separate ``@ P/2`` contractions — the textbook expansion of
+    the gradient ``-2 (Im(S) Re(T) - Re(S) Im(T))``.
+    """
+    ansatz = EnQodeAnsatz(4, 6)
+    symbolic = SymbolicState.from_ansatz(ansatz)
+    rng = np.random.default_rng(17)
+    targets = rng.normal(size=(7, 16))
+    thetas = rng.uniform(-np.pi, np.pi, (7, ansatz.num_parameters))
+    batch = BatchFidelityObjective(symbolic, ansatz, targets)
+    losses, grads = batch.value_and_grad(thetas)
+
+    half_p = symbolic.half_phase_matrix
+    phases = thetas @ half_p.T
+    cos, sin = np.cos(phases), np.sin(phases)
+    t_r = batch._coeff_real * cos - batch._coeff_imag * sin
+    t_i = batch._coeff_real * sin + batch._coeff_imag * cos
+    s_real, s_imag = t_r.sum(axis=1), t_i.sum(axis=1)
+    ref_losses = 1.0 - (s_real**2 + s_imag**2)
+    ref_grads = -2.0 * (
+        s_imag[:, None] * (t_r @ half_p) - s_real[:, None] * (t_i @ half_p)
+    )
+    np.testing.assert_allclose(losses, ref_losses, atol=1e-12)
+    np.testing.assert_allclose(grads, ref_grads, atol=1e-12)
+    # Repeated calls are independent (no persistent scratch buffers).
+    losses2, grads2 = batch.value_and_grad(thetas)
+    np.testing.assert_array_equal(losses, losses2)
+    np.testing.assert_array_equal(grads, grads2)
+
+
 def test_batch_objective_embedded_states(segment4):
     ansatz = EnQodeAnsatz(4, 4)
     symbolic = SymbolicState.from_ansatz(ansatz)

@@ -6,6 +6,7 @@ import pytest
 from repro.data import (
     load_dataset,
     normalize_rows,
+    prepare_amplitudes,
     prepare_embedding_dataset,
 )
 from repro.errors import DataError
@@ -19,6 +20,46 @@ def test_normalize_rows():
 def test_normalize_rejects_zero_rows():
     with pytest.raises(DataError):
         normalize_rows(np.zeros((2, 4)))
+
+
+def test_prepare_amplitudes_pads_and_normalizes():
+    rows = prepare_amplitudes(np.array([[3.0, 4.0]]), 4, pad_with=0.0)
+    assert rows.shape == (1, 4)
+    assert np.allclose(rows, [[0.6, 0.8, 0.0, 0.0]])
+
+
+def test_prepare_amplitudes_pad_constant_contributes_to_norm():
+    rows = prepare_amplitudes(np.array([2.0, 0.0]), 4, pad_with=1.0)
+    # padded row is [2, 0, 1, 1] with norm sqrt(6)
+    assert np.allclose(rows, np.array([[2.0, 0.0, 1.0, 1.0]]) / np.sqrt(6.0))
+
+
+def test_prepare_amplitudes_accepts_1d():
+    rows = prepare_amplitudes(np.array([1.0, 0.0, 0.0, 0.0]), 4)
+    assert rows.shape == (1, 4)
+
+
+def test_prepare_amplitudes_rejects_short_rows_without_pad():
+    with pytest.raises(DataError):
+        prepare_amplitudes(np.ones((3, 2)), 4)
+
+
+def test_prepare_amplitudes_rejects_too_long_rows():
+    with pytest.raises(DataError):
+        prepare_amplitudes(np.ones((3, 8)), 4, pad_with=0.0)
+
+
+def test_prepare_amplitudes_rejects_zero_norm():
+    with pytest.raises(DataError):
+        prepare_amplitudes(np.zeros((1, 4)), 4)
+
+
+def test_prepare_amplitudes_no_normalize_requires_unit_rows():
+    unit = np.array([[0.0, 1.0, 0.0, 0.0]])
+    out = prepare_amplitudes(unit, 4, normalize=False)
+    assert np.array_equal(out, unit)
+    with pytest.raises(DataError):
+        prepare_amplitudes(2.0 * unit, 4, normalize=False)
 
 
 def test_prepare_embedding_dataset_shapes(rng):

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core import EnQodeConfig, EnQodeEncoder, TransferLearner
-from repro.errors import OptimizationError
+from repro.errors import DataError, OptimizationError
 from repro.quantum import simulate_statevector, state_fidelity
 
 
@@ -119,6 +119,74 @@ def test_fit_dimension_validated(segment4, config):
     encoder = EnQodeEncoder(segment4, config)
     with pytest.raises(OptimizationError):
         encoder.fit(np.ones((10, 8)))
+
+
+def test_encode_pad_with_matches_manual_padding(fitted, cluster_data):
+    encoder, _ = fitted
+    short = cluster_data[0][:10]
+    # Reproduce prepare_amplitudes' padding + normalization bitwise so the
+    # deterministic pipeline yields identical outputs on both routes.
+    padded = np.full((1, 16), 0.3)
+    padded[:, :10] = short
+    padded = padded / np.linalg.norm(padded, axis=1, keepdims=True)
+    via_pad = encoder.encode(short, pad_with=0.3)
+    manual = encoder.encode(padded[0])
+    assert via_pad.cluster_index == manual.cluster_index
+    assert np.array_equal(via_pad.theta, manual.theta)
+    assert np.array_equal(via_pad.target, manual.target)
+    assert via_pad.ideal_fidelity == manual.ideal_fidelity
+
+
+def test_encode_mismatched_lengths_rejected(fitted):
+    encoder, _ = fitted
+    # pad_with can never stretch rows that are too long.
+    with pytest.raises(DataError):
+        encoder.encode(np.ones(20), pad_with=0.0)
+    # Short rows without pad_with stay a validation error (legacy class).
+    with pytest.raises(OptimizationError):
+        encoder.encode(np.ones(10))
+    # ... and with the convenience kwargs engaged they are a DataError.
+    with pytest.raises(DataError):
+        encoder.encode(np.ones(10), normalize=False)
+
+
+def test_encode_no_normalize_requires_unit_norm(fitted, cluster_data):
+    encoder, _ = fitted
+    unit = cluster_data[0]
+    encoded = encoder.encode(unit, normalize=False)
+    assert np.linalg.norm(encoded.target) == pytest.approx(1.0)
+    with pytest.raises(DataError):
+        encoder.encode(3.0 * unit, normalize=False)
+
+
+def test_encode_batch_pad_with(fitted, cluster_data):
+    encoder, _ = fitted
+    short = cluster_data[:2, :12]
+    batch = encoder.encode_batch(short, pad_with=0.1)
+    assert len(batch) == 2
+    for encoded in batch:
+        assert np.linalg.norm(encoded.target) == pytest.approx(1.0)
+    with pytest.raises(DataError):
+        encoder.encode_batch(np.ones((2, 20)), pad_with=0.1)
+
+
+def test_fit_pad_with(segment4, cluster_data):
+    config = EnQodeConfig(
+        num_qubits=4,
+        num_layers=4,
+        offline_restarts=1,
+        offline_max_iterations=60,
+        online_max_iterations=10,
+        max_clusters=2,
+        seed=5,
+    )
+    encoder = EnQodeEncoder(segment4, config)
+    report = encoder.fit(cluster_data[:12, :12], pad_with=0.2)
+    assert report.num_clusters >= 1
+    with pytest.raises(DataError):
+        EnQodeEncoder(segment4, config).fit(
+            cluster_data[:12, :12], normalize=False
+        )
 
 
 def test_cluster_centers_accessible(fitted):
