@@ -1,16 +1,33 @@
 """QML image classification on EnQode embeddings (the paper's Fig. 1 flow).
 
-Trains a variational quantum classifier to separate two synthetic-MNIST
-classes, with the classical images amplitude-embedded by EnQode.  The
-trained classifier is then re-evaluated on *noisy* embedded states with a
-finite shot budget and calibrated readout error, contrasting EnQode's
-uniform shallow circuits with the Baseline's deep exact circuits: the
-Baseline's decohered states leave a readout margin far below shot noise,
-so its accuracy collapses toward a coin flip — the paper's central
-motivation.
+End-to-end tour of the batch-native QML stack:
 
-Run:  python examples/qml_classification.py
+1. an NQE-style :class:`~repro.data.TrainableEmbedding` learns a linear
+   map that pulls same-class images together *before* amplitude
+   embedding (SPSA ascent on class separation);
+2. one :class:`~repro.core.EnQodeEncoder` — with the trained embedding
+   slotted in as its preprocessing stage — fits cluster templates over
+   both classes at once;
+3. a :class:`~repro.qml.QMLClassifier` trains on the whole embedded
+   statevector matrix through the **batched engine**: the VQC ansatz is
+   compiled once into a parametric template and every SPSA step binds a
+   ``(2, num_parameters)`` theta pair + propagates all states in one
+   stacked sweep (no per-evaluation circuit objects);
+4. encoder + classifier ship as one versioned
+   :class:`~repro.qml.QMLModel` bundle, registered in an
+   :class:`~repro.service.EncodingService` whose ``predict`` endpoint
+   classifies *raw* samples (preprocess -> embed -> VQC readout);
+5. the trained classifier is re-evaluated on **noisy** embedded states
+   with a finite shot budget and calibrated readout error, contrasting
+   EnQode's uniform shallow circuits with the Baseline's deep exact
+   circuits — the Baseline's decohered states leave a readout margin far
+   below shot noise, so its accuracy collapses toward a coin flip (the
+   paper's central motivation).
+
+Run:  PYTHONPATH=src python examples/qml_classification.py
 """
+
+import tempfile
 
 import numpy as np
 
@@ -18,20 +35,24 @@ from repro import (
     BaselineStatePreparation,
     EnQodeConfig,
     EnQodeEncoder,
+    QMLConfig,
     brisbane_linear_segment,
     load_dataset,
 )
-from repro.qml import QMLClassifier
+from repro.data import TrainableEmbedding
+from repro.qml import QMLClassifier, QMLModel, load_qml_model, save_qml_model
 from repro.quantum import DensityMatrixSimulator, simulate_statevector
 from repro.quantum.measurement import backend_readout_errors, sample_counts
+from repro.service import EncodingService
 
+NUM_QUBITS = 8
 TRAIN_PER_CLASS = 10
 TEST_PER_CLASS = 4
 SHOTS = 512
 
 
 def main() -> None:
-    backend = brisbane_linear_segment(8)
+    backend = brisbane_linear_segment(NUM_QUBITS)
     dataset = load_dataset("mnist", samples_per_class=80, seed=0)
     class_a, class_b = (int(c) for c in dataset.classes()[:2])
     print(f"classifying digit-like classes {class_a} vs {class_b}")
@@ -39,59 +60,84 @@ def main() -> None:
     block_a = dataset.class_slice(class_a)
     block_b = dataset.class_slice(class_b)
 
-    # Offline: one encoder per class, as in the paper (per dataset+class).
-    encoders = {}
-    for label, block in ((class_a, block_a), (class_b, block_b)):
-        encoder = EnQodeEncoder(backend, EnQodeConfig(seed=7))
-        report = encoder.fit(block)
-        encoders[label] = encoder
-        print(
-            f"  class {label}: {report.num_clusters} clusters, "
-            f"offline {report.total_time:.1f}s"
-        )
+    def interleave(start: int, count: int):
+        samples, labels = [], []
+        for i in range(start, start + count):
+            for label, block in ((0, block_a), (1, block_b)):
+                samples.append(block[i])
+                labels.append(label)
+        return np.asarray(samples), np.asarray(labels)
 
-    def embed(label: int, sample: np.ndarray):
-        return encoders[label].encode(sample)
+    train_samples, train_labels = interleave(0, TRAIN_PER_CLASS)
+    test_samples, test_labels = interleave(TRAIN_PER_CLASS, TEST_PER_CLASS)
 
-    # Build the training set of embedded statevectors (ideal simulation).
-    train, labels = [], []
-    for i in range(TRAIN_PER_CLASS):
-        for label, block in ((class_a, block_a), (class_b, block_b)):
-            encoded = embed(label, block[i])
-            train.append(simulate_statevector(encoded.circuit))
-            labels.append(0 if label == class_a else 1)
-    labels = np.asarray(labels)
+    # 1. Learn the embedding: a linear map trained to separate the
+    # classes *in state space* (mean same-class overlap minus cross).
+    embedding = TrainableEmbedding(train_samples.shape[1], seed=5)
+    before = embedding.separation(train_samples, train_labels)
+    embedding.fit(train_samples, train_labels)
+    after = embedding.separation(train_samples, train_labels)
+    print(f"trainable embedding separation: {before:.3f} -> {after:.3f}")
 
-    model = QMLClassifier(8, num_layers=2, seed=1)
-    model.fit(train, labels, num_steps=150)
-    print(f"\ntrain accuracy (ideal states): {model.accuracy(train, labels):.2f}")
+    # 2. One encoder over both classes, preprocessing slotted in front:
+    # fit, encode, encode_batch, and the service all see raw pixels.
+    encoder = EnQodeEncoder(
+        backend, EnQodeConfig(seed=7), preprocessor=embedding
+    )
+    report = encoder.fit(train_samples)
+    print(
+        f"encoder: {report.num_clusters} clusters, "
+        f"offline {report.total_time:.1f}s"
+    )
 
-    # Held-out evaluation: ideal + noisy EnQode + noisy Baseline.
+    # 3. Batched VQC training on the embedded statevector matrix.
+    encoded_train = encoder.encode_batch(train_samples)
+    train_states = np.stack(
+        [simulate_statevector(e.circuit).data for e in encoded_train]
+    )
+    classifier = QMLClassifier(
+        config=QMLConfig(num_qubits=NUM_QUBITS, num_layers=2, num_steps=150, seed=1)
+    )
+    history = classifier.fit(train_states, train_labels)
+    print(
+        f"\nbatched VQC training: loss {history.losses[0]:.3f} -> "
+        f"{history.losses[-1]:.3f}, "
+        f"train accuracy {classifier.accuracy(train_states, train_labels):.2f}"
+    )
+
+    # 4. Bundle + serve: raw samples in, labels out.
+    model = QMLModel(encoder, classifier)
+    with tempfile.NamedTemporaryFile(suffix=".json") as bundle:
+        save_qml_model(model, bundle.name)
+        restored = load_qml_model(bundle.name, backend)
+    service = EncodingService()
+    service.register_model("digits", restored)
+    served = service.predict(test_samples)
+    assert np.array_equal(served, model.predict(test_samples))
+    print(
+        f"served test accuracy (ideal readout): "
+        f"{np.mean(served == test_labels):.2f} "
+        f"({service.stats().predictions_completed} predictions served)"
+    )
+
+    # 5. Held-out evaluation under hardware noise: EnQode vs Baseline.
     simulator = DensityMatrixSimulator(backend.noise_model())
     baseline = BaselineStatePreparation(backend)
-    test_states_ideal, test_states_noisy, base_states_noisy, test_labels = (
-        [],
-        [],
-        [],
-        [],
-    )
-    for i in range(TRAIN_PER_CLASS, TRAIN_PER_CLASS + TEST_PER_CLASS):
-        for label, block in ((class_a, block_a), (class_b, block_b)):
-            encoded = embed(label, block[i])
-            test_states_ideal.append(simulate_statevector(encoded.circuit))
-            test_states_noisy.append(simulator.run(encoded.circuit))
-            prepared = baseline.prepare(block[i])
-            base_states_noisy.append(simulator.run(prepared.circuit))
-            test_labels.append(0 if label == class_a else 1)
-    test_labels = np.asarray(test_labels)
+    encoded_test = encoder.encode_batch(test_samples)
+    test_states_noisy = [simulator.run(e.circuit) for e in encoded_test]
+    base_states_noisy = [
+        simulator.run(baseline.prepare(embedding.transform(x[None])[0]).circuit)
+        for x in test_samples
+    ]
 
     def shot_accuracy(states, seed=0):
         """Decide from <Z_0> estimated with finite shots + readout error."""
         readout = backend_readout_errors(backend)
         rng = np.random.default_rng(seed)
+        circuit = classifier.vqc.circuit(classifier.theta)
         correct = 0
         for state, label in zip(states, test_labels):
-            evolved = state.copy().evolve(model.vqc.circuit(model.theta))
+            evolved = state.copy().evolve(circuit)
             counts = sample_counts(
                 evolved, shots=SHOTS, seed=rng, readout_errors=readout
             )
@@ -99,10 +145,6 @@ def main() -> None:
             correct += decision == label
         return correct / len(states)
 
-    print(
-        f"test accuracy, EnQode ideal (exact readout):   "
-        f"{model.accuracy(test_states_ideal, test_labels):.2f}"
-    )
     print(
         f"test accuracy, EnQode noisy ({SHOTS} shots):      "
         f"{shot_accuracy(test_states_noisy):.2f}"

@@ -48,6 +48,7 @@ from repro.core import (
     EncodePipeline,
     EnQodeAnsatz,
     EnQodeConfig,
+    QMLConfig,
     ServiceConfig,
     EnQodeEncoder,
     EncodedSample,
@@ -88,6 +89,7 @@ __all__ = [
     "EncodingService",
     "EnQodeAnsatz",
     "EnQodeConfig",
+    "QMLConfig",
     "ServiceConfig",
     "EnQodeEncoder",
     "FakeBrisbane",

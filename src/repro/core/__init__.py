@@ -6,6 +6,7 @@ from repro.core.batch import (
     BatchLBFGSOptimizer,
     BatchOptimizationResult,
     BatchRestartResult,
+    VQCObjective,
 )
 from repro.core.clustering import (
     KMeans,
@@ -15,7 +16,7 @@ from repro.core.clustering import (
     nearest_centers,
     select_num_clusters,
 )
-from repro.core.config import EnQodeConfig, ServiceConfig
+from repro.core.config import EnQodeConfig, QMLConfig, ServiceConfig
 from repro.core.encoder import (
     ClusterModel,
     EncodedSample,
@@ -31,6 +32,7 @@ from repro.core.pipeline import (
     FinetuneStage,
     LowerStage,
     PipelineStats,
+    PreprocessStage,
     RoutePlan,
     RouteStage,
 )
@@ -49,16 +51,19 @@ __all__ = [
     "BatchLBFGSOptimizer",
     "BatchOptimizationResult",
     "BatchRestartResult",
+    "VQCObjective",
     "BindStage",
     "ClusterModel",
     "EncodePipeline",
     "FinetuneStage",
     "LowerStage",
     "PipelineStats",
+    "PreprocessStage",
     "RoutePlan",
     "RouteStage",
     "EnQodeAnsatz",
     "EnQodeConfig",
+    "QMLConfig",
     "ServiceConfig",
     "EnQodeEncoder",
     "EncodedSample",

@@ -137,6 +137,99 @@ class EnQodeConfig:
 
 
 @dataclass(frozen=True)
+class QMLConfig:
+    """Tunables of the VQC classifier head and its SPSA trainer.
+
+    Attributes
+    ----------
+    num_qubits, num_layers:
+        Classifier-ansatz geometry.  ``num_qubits`` must match the
+        embedding register (the classifier consumes embedded
+        ``2**num_qubits``-amplitude states directly).
+    margin:
+        Hinge threshold of the training loss
+        ``mean(max(0, margin - y_i * <Z_0>_i))``.
+    num_steps:
+        SPSA iterations.
+    spsa_a, spsa_c:
+        SPSA gain sequences ``a_k = spsa_a / k**0.602`` and
+        ``c_k = spsa_c / k**0.101`` (the standard Spall exponents).
+    minibatch_size:
+        Optional number of samples drawn (without replacement) per SPSA
+        step; ``None`` uses the full batch every step.  Minibatch draws
+        come from the same RNG stream as the perturbation directions,
+        so the batched and reference engines walk identical
+        trajectories.
+    eval_every:
+        Record full-batch loss/accuracy into the training history every
+        this many steps (plus the final step).
+    engine:
+        ``"batched"`` (default) trains through
+        :class:`repro.core.batch.VQCObjective` — one cached
+        :class:`~repro.transpile.template.ParametricTemplate` bind per
+        SPSA step evaluating the theta+/theta- pair, all states
+        propagated in one stacked walk.  ``"reference"`` trains through
+        the sequential per-state
+        :class:`repro.qml.vqc.VariationalClassifier` path.  Both draw
+        from one RNG stream; single evaluations agree to ~1e-15 and
+        whole trajectories to ~1e-9 (float non-associativity compounds
+        over steps).
+    optimization_level:
+        Transpiler effort for the classifier template (batched engine).
+    seed:
+        Seed for theta initialization and the SPSA stream.
+    """
+
+    num_qubits: int = 8
+    num_layers: int = 2
+    margin: float = 0.4
+    num_steps: int = 120
+    spsa_a: float = 0.25
+    spsa_c: float = 0.15
+    minibatch_size: "int | None" = None
+    eval_every: int = 10
+    engine: str = "batched"
+    optimization_level: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 2:
+            raise OptimizationError("num_qubits must be >= 2")
+        if self.num_layers < 1:
+            raise OptimizationError("num_layers must be >= 1")
+        if self.margin <= 0.0:
+            raise OptimizationError("margin must be > 0")
+        if self.num_steps < 1:
+            raise OptimizationError("num_steps must be >= 1")
+        if self.spsa_a <= 0.0 or self.spsa_c <= 0.0:
+            raise OptimizationError("spsa_a and spsa_c must be > 0")
+        if self.minibatch_size is not None and self.minibatch_size < 1:
+            raise OptimizationError(
+                "minibatch_size must be >= 1 (or None for full batch)"
+            )
+        if self.eval_every < 1:
+            raise OptimizationError("eval_every must be >= 1")
+        if self.engine not in ("batched", "reference"):
+            raise OptimizationError(
+                f"engine must be 'batched' or 'reference', "
+                f"got {self.engine!r}"
+            )
+        if self.optimization_level not in (0, 1):
+            raise OptimizationError(
+                f"optimization_level must be 0 or 1, "
+                f"got {self.optimization_level}"
+            )
+
+    @property
+    def num_amplitudes(self) -> int:
+        return 2**self.num_qubits
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.num_qubits * self.num_layers
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the :class:`repro.service.EncodingService` front end.
 

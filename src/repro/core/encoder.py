@@ -98,7 +98,10 @@ class EnQodeEncoder:
     """Cluster-train offline, transfer-learn online (the paper's system)."""
 
     def __init__(
-        self, backend: Backend, config: EnQodeConfig | None = None
+        self,
+        backend: Backend,
+        config: EnQodeConfig | None = None,
+        preprocessor=None,
     ) -> None:
         self.backend = backend
         self.config = config or EnQodeConfig()
@@ -107,6 +110,20 @@ class EnQodeEncoder:
                 f"{self.config.num_qubits}-qubit encoder cannot target "
                 f"{backend.num_qubits}-qubit backend"
             )
+        if (
+            preprocessor is not None
+            and preprocessor.output_size != self.config.num_amplitudes
+        ):
+            raise OptimizationError(
+                f"preprocessor emits {preprocessor.output_size}-wide rows "
+                f"but the encoder embeds "
+                f"{self.config.num_amplitudes} amplitudes"
+            )
+        #: Optional trainable classical embedding (NQE-style, see
+        #: :class:`repro.data.trainable.TrainableEmbedding`) applied to
+        #: every raw sample before clustering/routing; when set, this
+        #: encoder accepts ``input_size``-wide rows everywhere.
+        self.preprocessor = preprocessor
         self.ansatz = EnQodeAnsatz(
             self.config.num_qubits,
             self.config.num_layers,
@@ -125,6 +142,50 @@ class EnQodeEncoder:
     @property
     def is_fitted(self) -> bool:
         return self._transfer is not None
+
+    @property
+    def input_size(self) -> int:
+        """Raw-sample width this encoder accepts: the preprocessor's
+        input width when one is attached, else ``2**num_qubits``."""
+        if self.preprocessor is not None:
+            return self.preprocessor.input_size
+        return self.config.num_amplitudes
+
+    def project(self, sample: np.ndarray) -> np.ndarray:
+        """Map one raw sample to its unit-norm embedded vector.
+
+        This is the vector the encoder's circuits actually embed — the
+        preprocessed-and-renormalized row when a preprocessor is
+        attached, the normalized sample itself otherwise.  Routing
+        (:func:`repro.core.multiclass.nearest_class`) compares cluster
+        centers against *this*, so per-class encoders with different
+        preprocessors stay comparable.
+        """
+        sample = np.asarray(sample, dtype=float).ravel()
+        if sample.size != self.input_size:
+            raise OptimizationError(
+                f"sample has {sample.size} features, expected "
+                f"{self.input_size}"
+            )
+        if self.preprocessor is not None:
+            return self.preprocessor.transform(sample[None, :])[0]
+        norm = np.linalg.norm(sample)
+        if norm < 1e-12:
+            raise OptimizationError("cannot embed a zero sample")
+        return sample / norm
+
+    def _guard_preprocessor_kwargs(
+        self, normalize: bool, pad_with: "float | None"
+    ) -> None:
+        if self.preprocessor is not None and (
+            pad_with is not None or not normalize
+        ):
+            raise OptimizationError(
+                "normalize=False / pad_with are raw-amplitude input "
+                "conveniences and cannot be combined with a trainable "
+                "preprocessor (which defines its own input width and "
+                "renormalizes its output)"
+            )
 
     def fit(
         self,
@@ -164,7 +225,13 @@ class EnQodeEncoder:
         the same mean quality; ``offline_batch=False`` restores the
         exact sequential behaviour.
         """
-        if pad_with is not None or not normalize:
+        self._guard_preprocessor_kwargs(normalize, pad_with)
+        if self.preprocessor is not None:
+            # The learned map runs before clustering, so the cluster
+            # centers (and everything downstream) live in the embedded
+            # feature space — exactly what routing will compare against.
+            samples = self.preprocessor.transform(samples)
+        elif pad_with is not None or not normalize:
             samples = prepare_amplitudes(
                 samples,
                 self.config.num_amplitudes,
@@ -339,6 +406,7 @@ class EnQodeEncoder:
                 self.backend,
                 self.config.optimization_level,
                 self._transfer,
+                preprocessor=self.preprocessor,
             )
         return self._pipeline
 
@@ -363,6 +431,7 @@ class EnQodeEncoder:
         """
         if not self.is_fitted:
             raise OptimizationError("EnQodeEncoder.encode called before fit")
+        self._guard_preprocessor_kwargs(normalize, pad_with)
         sample = np.asarray(sample, dtype=float).ravel()
         if pad_with is not None or not normalize:
             sample = prepare_amplitudes(
@@ -371,10 +440,10 @@ class EnQodeEncoder:
                 normalize=normalize,
                 pad_with=pad_with,
             )[0]
-        if sample.size != self.config.num_amplitudes:
+        if sample.size != self.input_size:
             raise OptimizationError(
-                f"sample has {sample.size} amplitudes, expected "
-                f"{self.config.num_amplitudes}"
+                f"sample has {sample.size} features, expected "
+                f"{self.input_size}"
             )
         return self.pipeline.run(sample[None, :], use_template=False)[0]
 
@@ -420,6 +489,7 @@ class EnQodeEncoder:
             raise OptimizationError(
                 "EnQodeEncoder.encode_batch called before fit"
             )
+        self._guard_preprocessor_kwargs(normalize, pad_with)
         if pad_with is not None or not normalize:
             samples = prepare_amplitudes(
                 samples,

@@ -52,9 +52,14 @@ def nearest_class(
     unit = sample / norm
     best_label, best_distance = None, np.inf
     for label, encoder in encoders.items():
-        # The same nearest-center arithmetic the route stage uses, so
-        # class-level and cluster-level assignments cannot drift apart.
-        _, nearest = nearest_center(unit, encoder.cluster_centers())
+        # Compare in each encoder's *embedded* space (the identity map
+        # for preprocessor-free encoders) with the same nearest-center
+        # arithmetic the route stage uses, so class-level and
+        # cluster-level assignments cannot drift apart.
+        projected = (
+            encoder.project(unit) if hasattr(encoder, "project") else unit
+        )
+        _, nearest = nearest_center(projected, encoder.cluster_centers())
         if nearest < best_distance:
             best_label, best_distance = label, nearest
     return best_label

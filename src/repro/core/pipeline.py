@@ -114,6 +114,30 @@ class RoutePlan:
         return self.samples.shape[0]
 
 
+class PreprocessStage:
+    """Optional trainable classical embedding ahead of routing.
+
+    Wraps a :class:`repro.data.trainable.TrainableEmbedding` (or any
+    object with ``transform``/``input_size``/``output_size``): raw
+    feature rows are mapped through the learned linear map and
+    renormalized *before* cluster routing, so the encoder's circuits
+    embed the learned feature space while ``fit``/``encode``/
+    ``encode_batch``/the service keep their signatures — only the
+    accepted input width changes (``input_size`` instead of
+    ``2**num_qubits``).
+    """
+
+    def __init__(self, preprocessor) -> None:
+        self.preprocessor = preprocessor
+
+    @property
+    def input_size(self) -> int:
+        return self.preprocessor.input_size
+
+    def run(self, samples: np.ndarray) -> np.ndarray:
+        return self.preprocessor.transform(samples)
+
+
 class RouteStage:
     """Nearest-cluster assignment over the trained centers (Sec. III-D)."""
 
@@ -274,9 +298,20 @@ class EncodePipeline:
         backend: Backend,
         optimization_level: int,
         transfer: TransferLearner,
+        preprocessor=None,
     ) -> None:
         self.ansatz = ansatz
         self.backend = backend
+        if preprocessor is not None:
+            if preprocessor.output_size != 2**ansatz.num_qubits:
+                raise OptimizationError(
+                    f"preprocessor emits {preprocessor.output_size}-wide "
+                    f"rows but the ansatz embeds "
+                    f"{2 ** ansatz.num_qubits} amplitudes"
+                )
+            self.preprocess = PreprocessStage(preprocessor)
+        else:
+            self.preprocess = None
         self.route = RouteStage(transfer)
         self.finetune = FinetuneStage(transfer)
         self.bind = BindStage(ansatz)
@@ -298,9 +333,28 @@ class EncodePipeline:
     def num_amplitudes(self) -> int:
         return 2**self.ansatz.num_qubits
 
+    @property
+    def input_size(self) -> int:
+        """Accepted raw-sample width: the preprocessor's input when one
+        is attached, else the embedding width itself."""
+        if self.preprocess is not None:
+            return self.preprocess.input_size
+        return self.num_amplitudes
+
     def prepare(self, samples: np.ndarray) -> np.ndarray:
-        """Validate and unit-normalize a ``(B, 2^n)`` sample matrix."""
+        """Validate, preprocess, and unit-normalize a sample matrix.
+
+        Accepts ``(B, input_size)`` raw rows; with a preprocessor
+        attached they pass through the learned map (already
+        renormalized) first, so every downstream stage — and every
+        caller of this pipeline — only ever sees ``(B, 2^n)`` unit
+        rows.
+        """
         samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if self.preprocess is not None:
+            if samples.shape[0] == 0:
+                return np.empty((0, self.num_amplitudes))
+            samples = self.preprocess.run(samples)
         if samples.ndim != 2 or samples.shape[1] != self.num_amplitudes:
             raise OptimizationError(
                 f"samples must be (B, {self.num_amplitudes}), "
@@ -449,6 +503,7 @@ __all__ = [
     "LowerStage",
     "PipelineRunReport",
     "PipelineStats",
+    "PreprocessStage",
     "RoutePlan",
     "RouteStage",
 ]

@@ -29,6 +29,7 @@ from repro.core.config import EnQodeConfig
 from repro.core.encoder import ClusterModel, EnQodeEncoder, OfflineReport
 from repro.core.optimizer import OptimizationResult
 from repro.core.transfer import TransferLearner
+from repro.data.trainable import TrainableEmbedding
 from repro.errors import OptimizationError, SerializationError
 
 #: Current bundle schema.  Version 1: top-level ``config`` +
@@ -44,7 +45,7 @@ def encoder_to_dict(encoder: EnQodeEncoder) -> dict:
     """Serializable snapshot of a fitted encoder (models + config)."""
     if not encoder.is_fitted:
         raise OptimizationError("cannot serialize an unfitted encoder")
-    return {
+    payload = {
         "schema_version": SCHEMA_VERSION,
         # Legacy alias so version-1 bundles stay readable by pre-
         # ``schema_version`` checkouts.
@@ -60,6 +61,9 @@ def encoder_to_dict(encoder: EnQodeEncoder) -> dict:
             for model in encoder.cluster_models
         ],
     }
+    if encoder.preprocessor is not None:
+        payload["preprocessor"] = encoder.preprocessor.to_dict()
+    return payload
 
 
 def save_encoder(encoder: EnQodeEncoder, path: "str | pathlib.Path") -> None:
@@ -106,7 +110,10 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
     """Rebuild a ready-to-encode encoder from :func:`encoder_to_dict`."""
     _check_schema(payload)
     config = EnQodeConfig(**_require(payload, "config"))
-    encoder = EnQodeEncoder(backend, config)
+    preprocessor = None
+    if payload.get("preprocessor") is not None:
+        preprocessor = TrainableEmbedding.from_dict(payload["preprocessor"])
+    encoder = EnQodeEncoder(backend, config, preprocessor=preprocessor)
     models = []
     for entry in _require(payload, "clusters"):
         center = np.asarray(_require(entry, "center"), dtype=float)

@@ -13,6 +13,7 @@ from repro.data.synthetic import (
     synthetic_fashion_mnist,
     synthetic_mnist,
 )
+from repro.data.trainable import TrainableEmbedding
 
 __all__ = [
     "DATASET_NAMES",
@@ -23,6 +24,7 @@ __all__ = [
     "normalize_rows",
     "prepare_amplitudes",
     "prepare_embedding_dataset",
+    "TrainableEmbedding",
     "synthetic_cifar10",
     "synthetic_fashion_mnist",
     "synthetic_mnist",

@@ -1,6 +1,34 @@
-"""Downstream QML: variational classification over embedded states."""
+"""Downstream QML: batch-native variational classification over embeddings.
 
+The layer mirrors the encoder's architecture one level up the Fig. 1
+stack:
+
+* :class:`~repro.qml.vqc.VQCAnsatz` / :class:`~repro.qml.vqc.
+  VariationalClassifier` — the classifier circuit family in its
+  template-compatible (Rz-only-parameters) and eager reference forms;
+* :class:`~repro.qml.model.QMLClassifier` — SPSA training with two
+  engines sharing one loop: the batched engine (one cached
+  :class:`~repro.transpile.template.ParametricTemplate` bind per step,
+  all states propagated in one stacked walk via
+  :class:`repro.core.batch.VQCObjective`) and the per-state reference
+  engine the batched results are tested against (~1e-12);
+* :class:`~repro.qml.serving.QMLModel` — a versioned embed+classify
+  bundle (encoder + optional trainable preprocessing map + trained
+  head) that registers into the service layer for batched prediction.
+"""
+
+from repro.data.trainable import TrainableEmbedding
 from repro.qml.model import QMLClassifier, TrainingHistory
-from repro.qml.vqc import VariationalClassifier
+from repro.qml.serving import QMLModel, load_qml_model, save_qml_model
+from repro.qml.vqc import VariationalClassifier, VQCAnsatz
 
-__all__ = ["QMLClassifier", "TrainingHistory", "VariationalClassifier"]
+__all__ = [
+    "QMLClassifier",
+    "QMLModel",
+    "TrainableEmbedding",
+    "TrainingHistory",
+    "VariationalClassifier",
+    "VQCAnsatz",
+    "load_qml_model",
+    "save_qml_model",
+]

@@ -4,6 +4,28 @@ Trains the VQC with SPSA (simultaneous-perturbation stochastic
 approximation) on pre-embedded states; SPSA needs only two circuit
 evaluations per step regardless of parameter count, which is why it is
 the de-facto optimizer for NISQ-era classifiers.
+
+Two training engines share one SPSA loop (and one RNG stream, so their
+trajectories are comparable step by step):
+
+* ``engine="batched"`` (the default) — the classifier ansatz is
+  compiled **once** into a cached
+  :class:`~repro.transpile.template.ParametricTemplate`; each SPSA step
+  binds the ``theta + c*delta`` / ``theta - c*delta`` pair through one
+  :meth:`~repro.transpile.template.ParametricTemplate.bind_batch_ir`
+  call and propagates *all* embedded states through the bound IR in one
+  stacked statevector walk (:class:`repro.core.batch.VQCObjective`).
+  No ``Gate``/``Instruction`` objects exist anywhere on the training
+  path.
+* ``engine="reference"`` — the sequential per-state
+  :class:`~repro.qml.vqc.VariationalClassifier` path (circuit built
+  once per theta, states evolved one at a time).  Always available,
+  obviously correct; the batched engine must match it to ~1e-12 on
+  every margin and loss (``tests/test_qml_batch.py``).
+
+Density-matrix states (the noisy-embedding study) are handled by the
+reference engine only; the model falls back to it transparently when
+they appear.
 """
 
 from __future__ import annotations
@@ -12,8 +34,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import OptimizationError
+from repro.core.batch import VQCObjective
+from repro.core.config import QMLConfig
+from repro.errors import DataError
+from repro.hardware.backend import brisbane_linear_segment
 from repro.qml.vqc import VariationalClassifier
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+from repro.transpile.template import transpile_template
 from repro.utils.rng import as_rng
 
 
@@ -25,73 +53,248 @@ class TrainingHistory:
     accuracies: list[float] = field(default_factory=list)
 
 
+class _ReferenceObjective:
+    """Sequential per-state objective with the :class:`repro.core.batch.
+    VQCObjective` evaluation API, so one SPSA loop drives either engine."""
+
+    def __init__(self, vqc, states, labels, margin: float) -> None:
+        self.vqc = vqc
+        self.states = list(states)
+        self.labels = np.asarray(labels).astype(int)
+        self.margin = float(margin)
+        self.signs = 1.0 - 2.0 * self.labels.astype(float)
+
+    def _select(self, indices):
+        if indices is None:
+            return self.states, self.signs
+        indices = np.asarray(indices, dtype=int)
+        return [self.states[i] for i in indices], self.signs[indices]
+
+    def expectations(self, thetas, indices=None) -> np.ndarray:
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        states, _ = self._select(indices)
+        return np.stack(
+            [self.vqc.expectations_z0(states, theta) for theta in thetas]
+        )
+
+    def margins(self, theta, indices=None) -> np.ndarray:
+        _, signs = self._select(indices)
+        return signs * self.expectations(theta, indices)[0]
+
+    def losses(self, thetas, indices=None) -> np.ndarray:
+        _, signs = self._select(indices)
+        values = self.expectations(thetas, indices)
+        hinge = np.maximum(0.0, self.margin - signs[None, :] * values)
+        return hinge.mean(axis=1)
+
+    def loss(self, theta, indices=None) -> float:
+        return float(self.losses(theta, indices)[0])
+
+    def predictions(self, theta, indices=None) -> np.ndarray:
+        return (self.expectations(theta, indices)[0] < 0.0).astype(int)
+
+    def accuracy(self, theta) -> float:
+        return float(np.mean(self.margins(theta) > 0.0))
+
+
+def _state_matrix(states) -> "np.ndarray | None":
+    """Stack states into a ``(B, 2^n)`` matrix, or ``None`` if any state
+    is a density matrix (which only the reference engine can evolve)."""
+    if isinstance(states, np.ndarray):
+        return np.atleast_2d(np.asarray(states, dtype=complex))
+    rows = []
+    for state in states:
+        if isinstance(state, Statevector):
+            rows.append(state.data)
+        elif isinstance(state, DensityMatrix):
+            return None
+        else:
+            rows.append(np.asarray(state, dtype=complex))
+    return np.stack(rows) if rows else np.empty((0, 0), dtype=complex)
+
+
 class QMLClassifier:
     """Binary classifier over embedded quantum states.
 
     The model is agnostic to how states were prepared: pass ideal
     statevectors for clean training or noisy density matrices to study
     noise effects (the Fig. 1 motivation for uniform embedding noise).
+
+    Parameters
+    ----------
+    num_qubits, num_layers, seed:
+        Shorthand for the common knobs; ignored when ``config`` is
+        given.  ``seed`` also accepts a ``numpy`` Generator to share a
+        stream with the caller.
+    config:
+        Full :class:`~repro.core.config.QMLConfig`; controls the
+        training engine, SPSA schedule, minibatching, and margin.
+    backend:
+        Hardware target the batched engine compiles the classifier
+        template against (default: a ``num_qubits``-wide linear Brisbane
+        segment, matching the embedding circuits).  Must route the VQC's
+        nearest-neighbor CX cascade without SWAPs.
     """
 
     def __init__(
         self,
-        num_qubits: int,
+        num_qubits: "int | None" = None,
         num_layers: int = 2,
         seed: "int | np.random.Generator | None" = 0,
+        *,
+        config: "QMLConfig | None" = None,
+        backend=None,
     ) -> None:
-        self.vqc = VariationalClassifier(num_qubits, num_layers)
-        self._rng = as_rng(seed)
+        if config is None:
+            config = QMLConfig(
+                num_qubits=8 if num_qubits is None else num_qubits,
+                num_layers=num_layers,
+                seed=seed if isinstance(seed, (int, np.integer)) else 0,
+            )
+        elif num_qubits is not None and num_qubits != config.num_qubits:
+            raise DataError(
+                f"num_qubits={num_qubits} conflicts with "
+                f"config.num_qubits={config.num_qubits}"
+            )
+        self.config = config
+        self.vqc = VariationalClassifier(config.num_qubits, config.num_layers)
+        self.backend = (
+            brisbane_linear_segment(config.num_qubits)
+            if backend is None
+            else backend
+        )
+        self._rng = as_rng(config.seed if seed is None else seed)
         self.theta = self._rng.uniform(-0.3, 0.3, self.vqc.num_parameters)
         self.history = TrainingHistory()
 
+    @property
+    def num_qubits(self) -> int:
+        return self.config.num_qubits
+
+    def template(self):
+        """The cached parametric template of the classifier ansatz."""
+        return transpile_template(
+            self.vqc.ansatz(), self.backend, self.config.optimization_level
+        )
+
+    # -- validation -----------------------------------------------------------------
+
+    @staticmethod
+    def _validate(states, labels: np.ndarray) -> None:
+        if len(states) == 0:
+            raise DataError("states must be non-empty")
+        if labels.ndim != 1 or len(states) != labels.size:
+            raise DataError(
+                f"states/labels length mismatch: {len(states)} states vs "
+                f"labels of shape {labels.shape}"
+            )
+        if labels.size and set(np.unique(labels)) - {0, 1}:
+            raise DataError(
+                f"labels must be binary 0/1, got values "
+                f"{sorted(set(np.unique(labels)) - {0, 1})}"
+            )
+
+    def _objective(self, states, labels: np.ndarray):
+        """The configured engine's objective over this dataset.
+
+        The batched engine needs a pure statevector stack; density-
+        matrix inputs transparently fall back to the reference engine.
+        """
+        if self.config.engine == "batched":
+            matrix = _state_matrix(states)
+            if matrix is not None:
+                return VQCObjective(
+                    self.template(), matrix, labels, self.config.margin
+                )
+        return _ReferenceObjective(self.vqc, states, labels, self.config.margin)
+
     # -- loss -----------------------------------------------------------------------
 
-    def _margins(self, states: list, labels: np.ndarray, theta) -> np.ndarray:
+    def _margins(self, states, labels: np.ndarray, theta) -> np.ndarray:
         """Signed margins y_i * <Z_0>_i with y in {+1, -1}."""
-        signs = 1.0 - 2.0 * np.asarray(labels, dtype=float)  # 0 -> +1, 1 -> -1
-        values = np.array(
-            [self.vqc.expectation_z0(s, theta) for s in states]
-        )
-        return signs * values
+        return self._objective(states, np.asarray(labels)).margins(theta)
 
-    def loss(self, states: list, labels: np.ndarray, theta=None) -> float:
-        """Hinge-like loss max(0, 0.4 - margin), averaged."""
+    def loss(self, states, labels: np.ndarray, theta=None) -> float:
+        """Hinge loss max(0, margin - y_i * <Z_0>_i), averaged."""
         theta = self.theta if theta is None else theta
-        margins = self._margins(states, labels, theta)
-        return float(np.mean(np.maximum(0.0, 0.4 - margins)))
+        self._validate(states, np.asarray(labels))
+        return self._objective(states, np.asarray(labels)).loss(theta)
 
-    def accuracy(self, states: list, labels: np.ndarray) -> float:
-        margins = self._margins(states, labels, self.theta)
-        return float(np.mean(margins > 0.0))
+    def accuracy(self, states, labels: np.ndarray) -> float:
+        self._validate(states, np.asarray(labels))
+        return self._objective(states, np.asarray(labels)).accuracy(self.theta)
 
     # -- SPSA training ----------------------------------------------------------------
 
     def fit(
         self,
-        states: list,
+        states,
         labels: np.ndarray,
-        num_steps: int = 120,
-        a: float = 0.25,
-        c: float = 0.15,
+        num_steps: "int | None" = None,
+        a: "float | None" = None,
+        c: "float | None" = None,
     ) -> TrainingHistory:
-        """SPSA minimization of the hinge loss."""
+        """SPSA minimization of the hinge loss.
+
+        Each step evaluates the loss at ``theta + c_k * delta`` and
+        ``theta - c_k * delta`` — under the batched engine that is one
+        template bind and two stacked propagations, however large the
+        dataset.  ``num_steps``/``a``/``c`` default to the config's
+        schedule.  Both engines draw perturbations (and minibatch
+        indices, when configured) from the same RNG stream in the same
+        order, so their trajectories are directly comparable.
+        """
         labels = np.asarray(labels)
-        if len(states) != labels.size:
-            raise OptimizationError("states/labels length mismatch")
-        if set(np.unique(labels)) - {0, 1}:
-            raise OptimizationError("labels must be binary 0/1")
+        self._validate(states, labels)
+        cfg = self.config
+        num_steps = cfg.num_steps if num_steps is None else num_steps
+        a = cfg.spsa_a if a is None else a
+        c = cfg.spsa_c if c is None else c
+        objective = self._objective(states, labels)
+        num_samples = len(states)
+        theta = self.theta
         for step in range(1, num_steps + 1):
             a_k = a / step**0.602
             c_k = c / step**0.101
-            delta = self._rng.choice([-1.0, 1.0], size=self.theta.size)
-            loss_plus = self.loss(states, labels, self.theta + c_k * delta)
-            loss_minus = self.loss(states, labels, self.theta - c_k * delta)
+            delta = self._rng.choice([-1.0, 1.0], size=theta.size)
+            indices = None
+            if (
+                cfg.minibatch_size is not None
+                and cfg.minibatch_size < num_samples
+            ):
+                indices = self._rng.choice(
+                    num_samples, size=cfg.minibatch_size, replace=False
+                )
+            pair = np.stack([theta + c_k * delta, theta - c_k * delta])
+            loss_plus, loss_minus = objective.losses(pair, indices)
             gradient = (loss_plus - loss_minus) / (2.0 * c_k) * delta
-            self.theta = self.theta - a_k * gradient
-            if step % 10 == 0 or step == num_steps:
-                self.history.losses.append(self.loss(states, labels))
-                self.history.accuracies.append(self.accuracy(states, labels))
+            theta = theta - a_k * gradient
+            if step % cfg.eval_every == 0 or step == num_steps:
+                self.history.losses.append(objective.loss(theta))
+                self.history.accuracies.append(objective.accuracy(theta))
+        self.theta = theta
         return self.history
 
-    def predict(self, states: list) -> np.ndarray:
-        return np.array([self.vqc.decision(s, self.theta) for s in states])
+    # -- inference ------------------------------------------------------------------
+
+    def decision_values(self, states) -> np.ndarray:
+        """<Z_0> for each state under the trained theta (sign = class)."""
+        if self.config.engine == "batched":
+            matrix = _state_matrix(states)
+            if matrix is not None and matrix.size:
+                bound = self.template().bind_batch_ir(
+                    np.atleast_2d(self.theta)
+                )
+                evolved = bound.evolve_states_row(0, matrix)
+                probs = np.abs(evolved) ** 2
+                half = probs.shape[1] // 2
+                return probs[:, :half].sum(axis=1) - probs[:, half:].sum(
+                    axis=1
+                )
+        return self.vqc.expectations_z0(states, self.theta)
+
+    def predict(self, states) -> np.ndarray:
+        """Predicted labels in {0, 1}."""
+        if len(states) == 0:
+            return np.empty(0, dtype=int)
+        return (self.decision_values(states) < 0.0).astype(int)

@@ -5,20 +5,152 @@ embedding circuit followed by a trainable variational ansatz and a Pauli-Z
 readout.  The ansatz is the standard hardware-efficient stack of Ry/Rz
 rotation columns and a CX ring, which transpiles cleanly to the same
 linear section the embeddings target.
+
+Two circuit forms of the same unitary family live here:
+
+* :meth:`VariationalClassifier.circuit` — the eager logical Ry/Rz + CX
+  form, the always-available **reference path** every batched result is
+  tested against;
+* :class:`VQCAnsatz` — the template-compatible form, with every Ry
+  expressed through the exact SU(2) identity
+  ``Ry(theta) = Rx(-pi/2) Rz(theta) Rx(pi/2)`` so that *all* trainable
+  parameters are Rz angles.  That is the contract of
+  :class:`repro.transpile.template.ParametricTemplate` (structural
+  passes never inspect Rz matrices, so marker gates survive routing),
+  which lets the classifier compile its ansatz **once** per (geometry,
+  backend, level) and re-bind whole ``(B, num_parameters)`` theta
+  matrices through :meth:`~repro.transpile.template.ParametricTemplate.
+  bind_batch_ir` with zero per-evaluation ``Gate``/``Instruction``
+  objects — the QML analogue of the encoder's batched online path.
+
+The two forms agree to machine precision (~1e-15 on <Z_0>); the
+equivalence is asserted structurally at template construction and
+numerically in ``tests/test_qml_batch.py``.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.errors import OptimizationError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.gates import gate
 from repro.quantum.statevector import Statevector
+
+_HALF_PI = math.pi / 2.0
+
+
+class VQCAnsatz:
+    """The VQC circuit family in template-compatible (Rz-only) form.
+
+    Satisfies the :class:`repro.transpile.template.ParametricTemplate`
+    ansatz protocol (``parametric_circuit``/``circuit``/
+    ``num_parameters`` plus the :class:`~repro.transpile.template.
+    TemplateCache` key attributes), so one structural transpile serves
+    every theta the classifier ever evaluates.  Parameter layout is
+    identical to :class:`VariationalClassifier`: per layer, per qubit,
+    the Ry angle then the Rz angle (flat index ``2 * (layer * n + q)``
+    and ``+ 1``).
+
+    The CX cascade entangles strictly nearest-neighbor pairs, so on a
+    linear-chain backend routing inserts no SWAPs and both layouts stay
+    the identity — which is what lets embedded states propagate through
+    the bound IR without re-indexing (checked via
+    :attr:`~repro.transpile.template.ParametricTemplate.
+    has_trivial_layout` by :class:`repro.core.batch.VQCObjective`).
+    """
+
+    #: TemplateCache key attributes (fixed for this family).
+    entangler = "cx"
+    alternate_orientation = False
+
+    def __init__(self, num_qubits: int, num_layers: int = 2) -> None:
+        if num_qubits < 2:
+            raise OptimizationError("VQC needs at least 2 qubits")
+        if num_layers < 1:
+            raise OptimizationError("VQC needs at least 1 layer")
+        self.num_qubits = num_qubits
+        self.num_layers = num_layers
+
+    @property
+    def num_parameters(self) -> int:
+        """Two rotations (Ry, Rz) per qubit per layer."""
+        return 2 * self.num_qubits * self.num_layers
+
+    def parameter_index(self, layer: int, qubit: int) -> int:
+        """Flat index of the Ry parameter on ``qubit`` in ``layer``
+        (the paired Rz parameter is the next index)."""
+        if not (0 <= layer < self.num_layers and 0 <= qubit < self.num_qubits):
+            raise OptimizationError(
+                f"no parameter at layer={layer}, qubit={qubit}"
+            )
+        return 2 * (layer * self.num_qubits + qubit)
+
+    def circuit(self, theta: np.ndarray) -> QuantumCircuit:
+        """Instantiate the decomposed (Rz-only-parameters) form."""
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.size != self.num_parameters:
+            raise OptimizationError(
+                f"expected {self.num_parameters} parameters, got {theta.size}"
+            )
+        return self._build(lambda j: gate("rz", float(theta[j])))
+
+    def parametric_circuit(self) -> "tuple[QuantumCircuit, dict[int, int]]":
+        """The skeleton with marker Rz gates (see
+        :meth:`repro.core.ansatz.EnQodeAnsatz.parametric_circuit`)."""
+        markers: dict[int, int] = {}
+
+        def marker_rz(j: int):
+            rz = gate("rz", 0.0)
+            markers[id(rz)] = j
+            return rz
+
+        return self._build(marker_rz), markers
+
+    def _build(self, rz_gate) -> QuantumCircuit:
+        """Assemble the fixed shape, delegating trainable-Rz creation.
+
+        Each logical ``ry(theta); rz(phi)`` pair becomes the run
+        ``rx(pi/2), rz(theta), rx(-pi/2), rz(phi)`` (circuit order) —
+        the exact operator identity
+        ``Ry(theta) = Rx(-pi/2) @ Rz(theta) @ Rx(pi/2)``, verified to
+        ~1e-16 — so every trainable angle rides a native/virtual Rz and
+        every qubit's per-layer run has the same fixed/param signature
+        (one stacked compose group per bind).
+        """
+        qc = QuantumCircuit(self.num_qubits, name="vqc")
+        for layer in range(self.num_layers):
+            for q in range(self.num_qubits):
+                index = self.parameter_index(layer, q)
+                qc.rx(_HALF_PI, q)
+                qc.append(rz_gate(index), (q,))
+                qc.rx(-_HALF_PI, q)
+                qc.append(rz_gate(index + 1), (q,))
+            # Entangle upward (control q+1 -> target q), sequentially
+            # from the last qubit — see VariationalClassifier.circuit.
+            for q in range(self.num_qubits - 2, -1, -1):
+                qc.cx(q + 1, q)
+        return qc
+
+    def __repr__(self) -> str:
+        return (
+            f"VQCAnsatz(qubits={self.num_qubits}, layers={self.num_layers}, "
+            f"params={self.num_parameters})"
+        )
 
 
 class VariationalClassifier:
     """Binary classifier: sign of <Z_0> after a trainable circuit.
+
+    This is the sequential **reference head**: it evolves one state at a
+    time through the eager logical circuit.  The batched training/
+    inference path (:class:`repro.core.batch.VQCObjective` driven by
+    :class:`repro.qml.model.QMLClassifier`) must agree with it to
+    ~1e-12 on every margin and loss; keep this implementation simple and
+    obviously correct.
 
     Parameters
     ----------
@@ -38,6 +170,10 @@ class VariationalClassifier:
     def num_parameters(self) -> int:
         """Two rotations per qubit per layer."""
         return 2 * self.num_qubits * self.num_layers
+
+    def ansatz(self) -> VQCAnsatz:
+        """The template-compatible form of this circuit family."""
+        return VQCAnsatz(self.num_qubits, self.num_layers)
 
     def circuit(self, theta: np.ndarray) -> QuantumCircuit:
         theta = np.asarray(theta, dtype=float).ravel()
@@ -63,23 +199,50 @@ class VariationalClassifier:
 
     # -- readout ------------------------------------------------------------------
 
-    def expectation_z0(
-        self, state: "Statevector | DensityMatrix", theta: np.ndarray
-    ) -> float:
-        """<Z_0> of the classifier circuit applied to an embedded state."""
-        circuit = self.circuit(theta)
-        if isinstance(state, Statevector):
-            evolved = state.copy().evolve(circuit)
-            probs = evolved.probabilities()
-        elif isinstance(state, DensityMatrix):
-            evolved = state.copy().evolve(circuit)
-            probs = evolved.probabilities()
-        else:
-            raise OptimizationError(f"unsupported state type {type(state)!r}")
+    @staticmethod
+    def _z0_from_probs(probs: np.ndarray) -> float:
         # Qubit 0 is the most significant bit: Z_0 = +1 on the first half.
         half = probs.size // 2
         return float(probs[:half].sum() - probs[half:].sum())
 
+    def expectations_z0(self, states, theta: np.ndarray) -> np.ndarray:
+        """<Z_0> of the classifier circuit applied to each embedded state.
+
+        Builds the circuit **once** for ``theta`` and reuses it across
+        all states (one loss evaluation over B states used to build B
+        identical circuits).  Accepts a sequence of
+        :class:`~repro.quantum.statevector.Statevector` /
+        :class:`~repro.quantum.density_matrix.DensityMatrix` objects or
+        a ``(B, 2^n)`` amplitude matrix.
+        """
+        circuit = self.circuit(theta)
+        if isinstance(states, np.ndarray) and states.ndim == 2:
+            states = [Statevector(row, validate=False) for row in states]
+        values = np.empty(len(states), dtype=float)
+        for i, state in enumerate(states):
+            if isinstance(state, (Statevector, DensityMatrix)):
+                evolved = state.copy().evolve(circuit)
+            elif isinstance(state, np.ndarray) and state.ndim == 1:
+                evolved = Statevector(state, validate=False).evolve(circuit)
+            else:
+                raise OptimizationError(
+                    f"unsupported state type {type(state)!r}"
+                )
+            values[i] = self._z0_from_probs(evolved.probabilities())
+        return values
+
+    def expectation_z0(
+        self, state: "Statevector | DensityMatrix", theta: np.ndarray
+    ) -> float:
+        """<Z_0> of the classifier circuit applied to one embedded state."""
+        return float(self.expectations_z0([state], theta)[0])
+
     def decision(self, state, theta: np.ndarray) -> int:
         """Predicted label in {0, 1}."""
         return int(self.expectation_z0(state, theta) < 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"VariationalClassifier(qubits={self.num_qubits}, "
+            f"layers={self.num_layers})"
+        )

@@ -134,6 +134,10 @@ class ServiceStats:
     template_cache_misses: int = 0
     template_binds: int = 0
     per_key_completed: dict = field(default_factory=dict)
+    #: Samples classified through :meth:`repro.service.service.
+    #: EncodingService.predict` (inline batched inference; separate from
+    #: the encode request counters above).
+    predictions_completed: int = 0
     backend: str = "sync"
     flusher_wakeups: int = 0
 

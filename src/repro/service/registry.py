@@ -39,6 +39,7 @@ class EncoderRegistry:
 
     def __init__(self) -> None:
         self._encoders: dict = {}
+        self._models: dict = {}
 
     # -- population ----------------------------------------------------------------
 
@@ -72,6 +73,55 @@ class EncoderRegistry:
     def save(self, key, path: "str | pathlib.Path") -> None:
         """Persist the ``key`` encoder as a versioned bundle."""
         save_encoder(self.get(key), path)
+
+    # -- classifier bundles ----------------------------------------------------------
+
+    def register_model(self, key, model) -> "object":
+        """Register a trained embed+classify bundle under ``key``.
+
+        The model's encoder simultaneously occupies the same ``key`` in
+        the encoder table, so embedding traffic (``submit``) and
+        prediction traffic (:meth:`repro.service.service.EncodingService.
+        predict`) agree on what ``key`` means.
+        """
+        # Imported lazily: repro.qml sits above the service layer in the
+        # package hierarchy, so a module-level import would be a cycle.
+        from repro.qml.serving import QMLModel
+
+        if not isinstance(model, QMLModel):
+            raise ServiceError(
+                f"registry model slots hold QMLModel instances, got "
+                f"{type(model).__name__}"
+            )
+        self.register(key, model.encoder)
+        self._models[key] = model
+        return model
+
+    def model(self, key):
+        """The classifier bundle registered under ``key``."""
+        try:
+            return self._models[key]
+        except KeyError:
+            raise ServiceError(
+                f"no model registered under key {key!r}; "
+                f"available: {self.model_keys()}"
+            ) from None
+
+    def model_keys(self) -> list:
+        return list(self._models)
+
+    def load_model(self, key, path: "str | pathlib.Path", backend: Backend):
+        """Load a stored classifier bundle into the ``key`` model slot
+        (schema-checked at load time, like :meth:`load`)."""
+        from repro.qml.serving import load_qml_model
+
+        return self.register_model(key, load_qml_model(path, backend))
+
+    def save_model(self, key, path: "str | pathlib.Path") -> None:
+        """Persist the ``key`` classifier bundle as versioned JSON."""
+        from repro.qml.serving import save_qml_model
+
+        save_qml_model(self.model(key), path)
 
     @classmethod
     def from_per_class(cls, per_class: PerClassEnQode) -> "EncoderRegistry":
@@ -123,15 +173,15 @@ class EncoderRegistry:
         candidates = {
             key: encoder
             for key, encoder in self._encoders.items()
-            if encoder.config.num_amplitudes == sample.size
+            if encoder.input_size == sample.size
         }
         if not candidates:
             widths = sorted(
-                {e.config.num_amplitudes for e in self._encoders.values()}
+                {e.input_size for e in self._encoders.values()}
             )
             raise ServiceError(
-                f"no registered encoder accepts {sample.size} amplitudes "
-                f"(registered widths: {widths})"
+                f"no registered encoder accepts {sample.size}-feature "
+                f"samples (registered input widths: {widths})"
             )
         return nearest_class(sample, candidates)
 

@@ -237,6 +237,7 @@ class EncodingService:
         self._evaluation_sum = 0
         self._fidelity_sum = 0.0
         self._per_key_completed: dict = {}
+        self._predictions = 0
         self._template_hits = 0
         self._template_misses = 0
         self._template_binds = 0
@@ -260,6 +261,16 @@ class EncodingService:
 
     def keys(self) -> list:
         return self.registry.keys()
+
+    def register_model(self, key, model):
+        """Register a trained embed+classify bundle under ``key`` (its
+        encoder also takes the ``key`` encoder slot — see
+        :meth:`repro.service.registry.EncoderRegistry.register_model`)."""
+        return self.registry.register_model(key, model)
+
+    def load_model(self, key, path: "str | pathlib.Path", backend: Backend):
+        """Load a stored classifier bundle into the ``key`` model slot."""
+        return self.registry.load_model(key, path, backend)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -327,10 +338,10 @@ class EncodingService:
         if key is None:
             key = self.registry.route(sample)
         encoder = self.registry.get(key)
-        if sample.size != encoder.config.num_amplitudes:
+        if sample.size != encoder.input_size:
             raise ServiceError(
-                f"sample has {sample.size} amplitudes, encoder {key!r} "
-                f"expects {encoder.config.num_amplitudes}"
+                f"sample has {sample.size} features, encoder {key!r} "
+                f"expects {encoder.input_size}"
             )
         with self._lock:
             # Checked under the lock: stop() holds it for its whole
@@ -404,6 +415,43 @@ class EncodingService:
                 f"request {ticket.request.request_id} was not served "
                 f"within {timeout}s"
             )
+
+    # -- prediction ----------------------------------------------------------------
+
+    def predict(self, samples: np.ndarray, key=None) -> np.ndarray:
+        """Classify raw samples through a registered :class:`~repro.qml.
+        serving.QMLModel` bundle; returns labels in {0, 1}.
+
+        The whole matrix runs as **one** batch — one pipeline run embeds
+        every row (preprocessing included), one template bind evaluates
+        the classifier head over the stacked states — so prediction
+        throughput scales like ``encode_batch``, not like a per-sample
+        loop.  Runs inline on the calling thread under either backend
+        (it is already batched; there is no queue to amortize).  With
+        one registered model ``key`` may be omitted.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+        if key is None:
+            model_keys = self.registry.model_keys()
+            if len(model_keys) != 1:
+                raise ServiceError(
+                    f"predict needs an explicit key when "
+                    f"{len(model_keys)} models are registered "
+                    f"(available: {model_keys})"
+                )
+            key = model_keys[0]
+        model = self.registry.model(key)
+        if samples.ndim != 2 or samples.shape[1] != model.input_size:
+            raise ServiceError(
+                f"samples must be (B, {model.input_size}), "
+                f"got {samples.shape}"
+            )
+        for row in samples:
+            self._validate(row)
+        labels = model.predict(samples)
+        with self._lock:
+            self._predictions += samples.shape[0]
+        return labels
 
     # -- flushing ------------------------------------------------------------------
 
@@ -581,6 +629,7 @@ class EncodingService:
                 template_cache_misses=self._template_misses,
                 template_binds=self._template_binds,
                 per_key_completed=dict(self._per_key_completed),
+                predictions_completed=self._predictions,
                 backend=self.config.backend,
                 flusher_wakeups=(
                     self._backend_impl.flusher_wakeups

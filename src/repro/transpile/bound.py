@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import TranspilerError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.gates import VIRTUAL_GATE_NAMES
 from repro.quantum.instruction import Instruction
@@ -111,6 +112,42 @@ class BoundCircuitBatch:
         for step in self.template._program:
             tensor = step.apply_ir(self, row, tensor, num_qubits)
         return Statevector(tensor.reshape(-1), validate=False)
+
+    def evolve_states_row(
+        self, row: int, states: np.ndarray
+    ) -> np.ndarray:
+        """Evolve a ``(B, 2^n)`` stack of states through one bound row.
+
+        The QML fast path: the contraction kernel
+        (:func:`repro.quantum.statevector.apply_gate_to_tensor`) treats
+        the first ``num_qubits`` tensor axes as qubit axes and carries
+        any trailing axes along untouched, so stacking the batch as one
+        trailing axis evolves **all** states through the row's gates in
+        one array walk — same matrices, same order, same kernel as
+        :meth:`statevector_row` applied to each state individually (the
+        per-state results agree to the last bit of each contraction).
+        Only meaningful when the template's layout is trivial
+        (:attr:`repro.transpile.template.ParametricTemplate.
+        has_trivial_layout`) — with SWAPs or a permuted layout the input
+        states would need re-indexing, which callers must handle.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=complex))
+        num_qubits = self.num_qubits
+        if states.ndim != 2 or states.shape[1] != 2**num_qubits:
+            raise TranspilerError(
+                f"states must be (B, {2 ** num_qubits}), got {states.shape}"
+            )
+        batch = states.shape[0]
+        if batch == 0:
+            return states.copy()
+        # Qubit axes leading, batch trailing: column b of states.T is
+        # state b, so tensor[..., b] is exactly state b's qubit tensor.
+        tensor = np.ascontiguousarray(states.T).reshape(
+            (2,) * num_qubits + (batch,)
+        )
+        for step in self.template._program:
+            tensor = step.apply_ir(self, row, tensor, num_qubits)
+        return np.ascontiguousarray(tensor.reshape(2**num_qubits, batch).T)
 
     def num_gates_row(self, row: int) -> int:
         skeleton = self.template._skeleton_length
@@ -202,6 +239,11 @@ class BoundCircuit(QuantumCircuit):
     def ir_statevector(self) -> Statevector:
         """Simulator fast path: evolve |0...0> off the packed arrays."""
         return self._batch.statevector_row(self._row)
+
+    def evolve_states(self, states: np.ndarray) -> np.ndarray:
+        """Evolve a ``(B, 2^n)`` state stack through this circuit's gates
+        in one array walk (see :meth:`BoundCircuitBatch.evolve_states_row`)."""
+        return self._batch.evolve_states_row(self._row, states)
 
     def payload_nbytes(self) -> int:
         """Bytes of per-sample numeric payload (excludes the template)."""

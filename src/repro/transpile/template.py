@@ -482,6 +482,34 @@ class ParametricTemplate:
         self._skeleton_length = length
         self._skeleton_two_qubit = two_qubit
 
+    @property
+    def num_physical_qubits(self) -> int:
+        """Width of the routed circuits this template binds."""
+        return self._num_qubits
+
+    @property
+    def has_trivial_layout(self) -> bool:
+        """Whether bound circuits act on logical qubits in place.
+
+        True iff routing inserted no SWAPs and both layouts are the
+        identity on every logical qubit — then a bound circuit's qubit
+        ``q`` *is* the ansatz's logical qubit ``q``, so state-vector
+        inputs prepared in the logical order (e.g. embedded states fed
+        to :meth:`repro.transpile.bound.BoundCircuitBatch.
+        evolve_states_row`) need no re-indexing.  Nearest-neighbor
+        ansaetze on linear-chain backends (the EnQode and VQC families)
+        always satisfy this; consumers that rely on it should check
+        rather than assume.
+        """
+        if self._num_swaps:
+            return False
+        num_logical = self.ansatz.num_qubits
+        return all(
+            self._initial_layout.physical(q) == q
+            and self._final_layout.physical(q) == q
+            for q in range(num_logical)
+        )
+
     # -- binding -------------------------------------------------------------
 
     def bind(self, theta: np.ndarray) -> TranspileResult:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import OptimizationError
+from repro.errors import DataError, OptimizationError
 from repro.qml import QMLClassifier, VariationalClassifier
 from repro.quantum import DensityMatrix, Statevector
 
@@ -97,7 +97,61 @@ def test_predict_shape():
 def test_fit_validates_labels():
     states, _ = _separable_problem()
     model = QMLClassifier(3, seed=0)
-    with pytest.raises(OptimizationError):
+    with pytest.raises(DataError):
         model.fit(states, np.arange(len(states)))
-    with pytest.raises(OptimizationError):
+    with pytest.raises(DataError):
         model.fit(states, np.zeros(3))
+
+
+def test_fit_rejects_empty_states():
+    model = QMLClassifier(3, seed=0)
+    with pytest.raises(DataError):
+        model.fit([], np.empty(0, dtype=int))
+
+
+def test_fit_rejects_negative_and_multiclass_labels():
+    states, labels = _separable_problem()
+    model = QMLClassifier(3, seed=0)
+    with pytest.raises(DataError):
+        model.fit(states, np.where(labels == 0, -1, 1))
+    with pytest.raises(DataError):
+        model.fit(states, labels + 1)
+
+
+def test_loss_and_accuracy_validate_too():
+    states, labels = _separable_problem()
+    model = QMLClassifier(3, seed=0)
+    with pytest.raises(DataError):
+        model.loss(states, labels[:-1])
+    with pytest.raises(DataError):
+        model.accuracy([], np.empty(0, dtype=int))
+
+
+def test_expectations_z0_matches_per_state_loop(rng):
+    """The batched-over-states reference call (circuit built once per
+    theta) must agree exactly with one-at-a-time evaluation."""
+    vqc = VariationalClassifier(3, 2)
+    theta = rng.uniform(-np.pi, np.pi, vqc.num_parameters)
+    raw = rng.normal(size=(5, 8)) + 1j * rng.normal(size=(5, 8))
+    raw /= np.linalg.norm(raw, axis=1, keepdims=True)
+    states = [Statevector(row, validate=False) for row in raw]
+    batched = vqc.expectations_z0(states, theta)
+    singles = np.array([vqc.expectation_z0(s, theta) for s in states])
+    np.testing.assert_array_equal(batched, singles)
+    # An amplitude matrix is accepted directly.
+    np.testing.assert_allclose(
+        vqc.expectations_z0(raw, theta), singles, atol=1e-14
+    )
+
+
+def test_density_matrix_states_fall_back_to_reference_engine():
+    states, labels = _separable_problem()
+    rhos = [DensityMatrix.from_statevector(s) for s in states]
+    model = QMLClassifier(3, num_layers=1, seed=0)
+    model.fit(rhos, labels, num_steps=20)
+    pure = QMLClassifier(3, num_layers=1, seed=0)
+    pure.fit(states, labels, num_steps=20)
+    # Pure-state density matrices carry the same physics; the two fits
+    # share the RNG stream, so trajectories agree to float noise.
+    np.testing.assert_allclose(model.theta, pure.theta, atol=1e-9)
+    assert model.accuracy(rhos, labels) == pure.accuracy(states, labels)
