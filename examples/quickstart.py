@@ -4,7 +4,8 @@ Runs the whole pipeline on a small synthetic-MNIST class: offline cluster
 training, online transfer-learned embedding, transpilation to an
 ibm_brisbane-like 8-qubit linear section, and a side-by-side comparison
 with the exact (Baseline) embedding — circuit shape, ideal fidelity, and
-noisy fidelity.
+noisy fidelity — ending with an OpenQASM 3 export of the compiled
+embedding (see :mod:`repro.io`).
 
 Run:  python examples/quickstart.py
 """
@@ -93,6 +94,17 @@ def main() -> None:
         f"\nEnQode is {enqode_noisy / max(baseline_noisy, 1e-12):.0f}x "
         f"better under brisbane-grade noise."
     )
+
+    # 7. Interop: the embedding exports to standard OpenQASM 2 or 3 with
+    # float-bit round-trip parameters (repro.io also defines a compact
+    # binary wire format for service transport — see
+    # examples/deployment_workflow.py).
+    from repro.io import from_qasm, to_qasm
+
+    text = to_qasm(encoded.circuit, version=3)
+    assert from_qasm(text).count_ops() == encoded.circuit.count_ops()
+    print(f"\nOpenQASM 3 export ({len(text)} bytes):")
+    print("  " + "\n  ".join(text.splitlines()[:5]) + "\n  ...")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,20 @@ micro-batches submissions into the batched fast path — same results as
     service.flush()                           # drain the last partial batch
     print(tickets[0].result().fidelity, service.stats().summary())
 
+Interop (:mod:`repro.io`): circuits export to OpenQASM 2/3 with
+float-bit round-trip parameters, and template-bound responses ship as a
+compact binary wire record — template fingerprint + bound angles, >= 20x
+smaller than the eager instruction stream — that any process holding the
+same registered encoders rebinds to the identical circuits::
+
+    from repro.io import from_qasm, to_qasm
+
+    text = to_qasm(tickets[0].result().circuit, version=3)
+    assert from_qasm(text) is not None        # instruction-identical parse
+
+    blob = service.export_wire([t.result() for t in tickets])
+    batch = service.registry.rehydrate_wire(blob)   # np.array_equal states
+
 Subpackages
 -----------
 ``repro.quantum``    gates, circuits, statevector/density-matrix simulators
@@ -38,6 +52,7 @@ Subpackages
 ``repro.baseline``   exact amplitude embedding (Mottonen cascades)
 ``repro.core``       the EnQode algorithm itself (stage pipeline included)
 ``repro.service``    online serving: registry, micro-batcher, service stats
+``repro.io``         OpenQASM 2/3 interop + compact binary wire format
 ``repro.data``       synthetic image datasets + PCA pipeline
 ``repro.qml``        a variational classifier consuming the embeddings
 ``repro.evaluation`` per-figure experiment harness (Figs. 6-9)

@@ -15,6 +15,13 @@ fails loudly at load time instead of with a ``KeyError`` halfway through
 reconstruction.  (``format_version`` is still written and accepted as a
 legacy alias for version-1 bundles produced before ``schema_version``
 existed.)
+
+:func:`check_schema_version` is the single version gate shared by every
+persisted artifact in the stack — JSON model bundles (here and in
+:mod:`repro.qml.serving`), the binary wire format
+(:mod:`repro.io.wire`), and the ``OPENQASM`` header line
+(:mod:`repro.io.qasm`) all route their accept/reject decision through
+it, so a stale artifact of any format fails with the same error shape.
 """
 
 from __future__ import annotations
@@ -72,52 +79,88 @@ def save_encoder(encoder: EnQodeEncoder, path: "str | pathlib.Path") -> None:
     path.write_text(json.dumps(encoder_to_dict(encoder), indent=1))
 
 
-def _check_schema(payload: dict) -> None:
-    """Reject unknown schema versions with an actionable error."""
+def check_schema_version(
+    found,
+    expected,
+    what: str,
+    *,
+    field: str = "schema_version",
+    remedy: str = "re-export it with a matching build",
+) -> None:
+    """The one version gate for every persisted artifact.
+
+    ``found`` is ``None`` when the artifact carries no version at all, a
+    ``{field_name: value}`` mapping when it stamps several fields
+    (bundles write both ``schema_version`` and the legacy
+    ``format_version`` alias, and *every* stamped field must agree with
+    the reader), or a bare scalar.  ``expected`` is the accepted version
+    or a tuple of accepted versions (the QASM reader accepts both
+    ``2.0`` and ``3.0`` headers).  Raises
+    :class:`~repro.errors.SerializationError` naming the found and
+    expected versions; never returns a value.
+    """
+    accepted = expected if isinstance(expected, tuple) else (expected,)
+    accepted_label = " or ".join(str(version) for version in accepted)
+    if found is None:
+        raise SerializationError(
+            f"{what} has no {field} field "
+            f"(expected {field}={accepted_label}); "
+            f"is this really a {what}?"
+        )
+    if not isinstance(found, dict):
+        found = {field: found}
+    mismatched = {k: v for k, v in found.items() if v not in accepted}
+    if mismatched:
+        label = ", ".join(f"{k}={v!r}" for k, v in mismatched.items())
+        raise SerializationError(
+            f"unsupported {what} version ({label}; this build reads "
+            f"{field}={accepted_label}); {remedy}"
+        )
+
+
+def check_schema(payload: dict) -> None:
+    """Reject unknown model-bundle schema versions with an actionable error."""
     found = {
         key: payload[key]
         for key in ("schema_version", "format_version")
         if key in payload
     }
-    if not found:
-        raise SerializationError(
-            "stored EnQode model has no schema_version field "
-            f"(expected schema_version={SCHEMA_VERSION}); "
-            "is this an EnQode model bundle?"
-        )
-    # Both the canonical field and the legacy alias must agree with the
-    # reader: a bundle stamped with *any* other version is rejected.
-    mismatched = {k: v for k, v in found.items() if v != SCHEMA_VERSION}
-    if mismatched:
-        label = ", ".join(f"{k}={v!r}" for k, v in mismatched.items())
-        raise SerializationError(
-            f"unsupported EnQode model version ({label}; this build reads "
-            f"schema_version={SCHEMA_VERSION}); re-export the model with a "
-            "matching build"
-        )
+    check_schema_version(
+        found or None,
+        SCHEMA_VERSION,
+        "stored EnQode model bundle",
+        remedy="re-export the model with a matching build",
+    )
 
 
-def _require(payload: dict, key: str):
+def require_section(payload: dict, key: str, what: str = "stored EnQode model"):
+    """``payload[key]`` or a :class:`SerializationError` naming the hole."""
     try:
         return payload[key]
     except KeyError:
         raise SerializationError(
-            f"stored EnQode model is missing the {key!r} section"
+            f"{what} is missing the {key!r} section"
         ) from None
+
+
+# Pre-refactor private names (PR 8 made the helpers public so the wire
+# and QASM readers share them); kept so older call sites keep importing.
+_check_schema = check_schema
+_require = require_section
 
 
 def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
     """Rebuild a ready-to-encode encoder from :func:`encoder_to_dict`."""
-    _check_schema(payload)
-    config = EnQodeConfig(**_require(payload, "config"))
+    check_schema(payload)
+    config = EnQodeConfig(**require_section(payload, "config"))
     preprocessor = None
     if payload.get("preprocessor") is not None:
         preprocessor = TrainableEmbedding.from_dict(payload["preprocessor"])
     encoder = EnQodeEncoder(backend, config, preprocessor=preprocessor)
     models = []
-    for entry in _require(payload, "clusters"):
-        center = np.asarray(_require(entry, "center"), dtype=float)
-        theta = np.asarray(_require(entry, "theta"), dtype=float)
+    for entry in require_section(payload, "clusters"):
+        center = np.asarray(require_section(entry, "center"), dtype=float)
+        theta = np.asarray(require_section(entry, "theta"), dtype=float)
         if center.size != config.num_amplitudes:
             raise SerializationError(
                 f"stored center has dim {center.size}, config expects "
@@ -132,7 +175,7 @@ def encoder_from_dict(payload: dict, backend) -> EnQodeEncoder:
             ClusterModel(
                 center=center,
                 theta=theta,
-                fidelity=float(_require(entry, "fidelity")),
+                fidelity=float(require_section(entry, "fidelity")),
                 training_time=float(entry.get("training_time", 0.0)),
                 result=OptimizationResult(
                     theta=theta,

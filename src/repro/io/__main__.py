@@ -1,0 +1,124 @@
+"""``python -m repro.io`` — convert circuits between interchange formats.
+
+Two subcommands::
+
+    python -m repro.io info FILE
+        Identify a file (wire records by header, QASM by text) and print
+        a one-line summary per circuit.
+
+    python -m repro.io convert IN OUT [--to qasm2|qasm3|wire]
+        Read IN (QASM text or a self-contained wire record) and write
+        OUT in the requested format (inferred from OUT's extension when
+        --to is omitted: .qasm -> qasm2, .wire/.bin -> wire).
+
+Template-bound wire records need the producing template to decode, which
+a bare CLI process does not have — ``info`` still summarizes them from
+the header, but ``convert`` rejects them with a pointer at
+``EncoderRegistry.rehydrate_wire``.  Conversions to wire therefore
+always emit self-contained gate-stream records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import SerializationError
+from repro.io import qasm, wire
+
+
+def _read_circuits(path: pathlib.Path):
+    """Parse ``path`` as wire or QASM; returns a list of circuits."""
+    data = path.read_bytes()
+    if data[:4] == wire.MAGIC:
+        decoded = wire.load(data)
+        return decoded if isinstance(decoded, list) else [decoded]
+    circuit = qasm.from_qasm(data.decode("utf-8"))
+    return [circuit]
+
+
+def _output_format(path: pathlib.Path, explicit: "str | None") -> str:
+    if explicit is not None:
+        return explicit
+    suffix = path.suffix.lower()
+    if suffix == ".qasm":
+        return "qasm2"
+    if suffix in (".wire", ".bin"):
+        return "wire"
+    raise SerializationError(
+        f"cannot infer an output format from {path.name!r}; pass "
+        "--to qasm2|qasm3|wire"
+    )
+
+
+def _cmd_info(args) -> int:
+    path = pathlib.Path(args.file)
+    data = path.read_bytes()
+    if data[:4] == wire.MAGIC:
+        summary = wire.describe(data)
+        fields = ", ".join(f"{k}={v}" for k, v in summary.items())
+        print(f"{path.name}: wire ({fields})")
+        return 0
+    circuit = qasm.from_qasm(data.decode("utf-8"))
+    print(
+        f"{path.name}: qasm ({circuit.num_qubits} qubits, "
+        f"{len(circuit)} gates)"
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    source = pathlib.Path(args.input)
+    target = pathlib.Path(args.output)
+    fmt = _output_format(target, args.to)
+    circuits = _read_circuits(source)
+    if fmt == "wire":
+        if len(circuits) == 1:
+            target.write_bytes(
+                wire.dump_circuit(circuits[0], gate_stream=True)
+            )
+        else:
+            target.write_bytes(wire.dump_circuits(circuits, gate_stream=True))
+    else:
+        version = 2 if fmt == "qasm2" else 3
+        if len(circuits) != 1:
+            raise SerializationError(
+                f"a QASM file holds one circuit, input has {len(circuits)}"
+            )
+        target.write_text(qasm.to_qasm(circuits[0], version=version))
+    print(
+        f"{source.name} -> {target.name} ({fmt}, {len(circuits)} "
+        f"circuit{'s' if len(circuits) != 1 else ''}, "
+        f"{target.stat().st_size} bytes)"
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.io",
+        description="Convert circuits between OpenQASM and wire formats.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    info = commands.add_parser("info", help="identify and summarize a file")
+    info.add_argument("file")
+    info.set_defaults(handler=_cmd_info)
+    convert = commands.add_parser("convert", help="convert between formats")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.add_argument(
+        "--to", choices=("qasm2", "qasm3", "wire"), default=None,
+        help="output format (default: inferred from the output extension)",
+    )
+    convert.set_defaults(handler=_cmd_convert)
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,8 @@ from repro.core.config import QMLConfig
 from repro.core.encoder import EnQodeEncoder
 from repro.core.serialization import (
     SCHEMA_VERSION,
-    _check_schema,
-    _require,
+    check_schema,
+    require_section,
     encoder_from_dict,
     encoder_to_dict,
 )
@@ -141,18 +141,18 @@ class QMLModel:
     @classmethod
     def from_dict(cls, payload: dict, backend) -> "QMLModel":
         """Rebuild a ready-to-predict model from :meth:`to_dict`."""
-        _check_schema(payload)
+        check_schema(payload)
         kind = payload.get("kind")
         if kind != MODEL_KIND:
             raise SerializationError(
                 f"stored bundle has kind={kind!r}, expected "
                 f"{MODEL_KIND!r} (is this an encoder-only bundle?)"
             )
-        encoder = encoder_from_dict(_require(payload, "encoder"), backend)
-        section = _require(payload, "classifier")
-        config = QMLConfig(**_require(section, "config"))
+        encoder = encoder_from_dict(require_section(payload, "encoder"), backend)
+        section = require_section(payload, "classifier")
+        config = QMLConfig(**require_section(section, "config"))
         classifier = QMLClassifier(config=config, backend=backend)
-        theta = np.asarray(_require(section, "theta"), dtype=float)
+        theta = np.asarray(require_section(section, "theta"), dtype=float)
         if theta.size != classifier.vqc.num_parameters:
             raise SerializationError(
                 f"stored theta has {theta.size} parameters, classifier "

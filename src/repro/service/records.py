@@ -82,6 +82,31 @@ class EncodeResponse:
         """
         return self.encoded.circuit
 
+    def to_qasm(self, version: int = 2) -> str:
+        """This response's circuit as OpenQASM 2 or 3 text.
+
+        For handing the embedding to an external runner; the text
+        round-trips through :func:`repro.io.qasm.from_qasm` with
+        float-bit identical parameters.
+        """
+        # Imported lazily: repro.io sits beside the service layer and is
+        # only needed when a caller actually exports.
+        from repro.io.qasm import to_qasm
+
+        return to_qasm(self.circuit, version=version)
+
+    def to_wire(self) -> bytes:
+        """This response's circuit as one compact binary wire record.
+
+        On the template fast path this is a single-row template-bound
+        record (fingerprint + one theta row — a few hundred bytes);
+        decode it with :meth:`repro.service.registry.EncoderRegistry.
+        rehydrate_wire` on any process holding the same models.
+        """
+        from repro.io.wire import dump_circuit
+
+        return dump_circuit(self.circuit)
+
     def __repr__(self) -> str:
         return (
             f"EncodeResponse(id={self.request_id}, key={self.key!r}, "

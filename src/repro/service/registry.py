@@ -154,6 +154,42 @@ class EncoderRegistry:
     def __contains__(self, key) -> bool:
         return key in self._encoders
 
+    # -- wire-format rehydration -----------------------------------------------------
+
+    def rehydrate_wire(self, data: bytes):
+        """Decode a wire blob against the registered encoders' templates.
+
+        Template-bound records (the compact kind
+        :meth:`~repro.service.records.EncodeResponse.to_wire` and
+        :meth:`~repro.service.service.EncodingService.export_wire`
+        emit) carry only a template fingerprint plus bound angles; this
+        resolves the fingerprint against every registered encoder's
+        cached :class:`~repro.transpile.template.ParametricTemplate`
+        and rebinds, returning a :class:`~repro.transpile.bound.
+        BoundCircuitBatch` that simulates ``np.array_equal`` to the
+        sender's.  Self-contained gate-stream records decode without any
+        template and come back as circuits.  A fingerprint no registered
+        encoder produces raises :class:`~repro.errors.
+        SerializationError` naming the known fingerprints.
+        """
+        from repro.io.wire import load
+
+        return load(data, template_resolver=self._template_for_fingerprint)
+
+    def _template_for_fingerprint(self, fingerprint: bytes):
+        from repro.errors import SerializationError
+
+        known = {}
+        for key, encoder in self._encoders.items():
+            template = encoder.pipeline.lower.template()
+            if template.fingerprint == fingerprint:
+                return template
+            known[key] = template.fingerprint.hex()
+        raise SerializationError(
+            f"wire fingerprint {fingerprint.hex()} matches no registered "
+            f"encoder's template (known: {known or 'none — registry is empty'})"
+        )
+
     # -- routing -------------------------------------------------------------------
 
     def route(self, sample: np.ndarray):

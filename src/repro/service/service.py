@@ -453,6 +453,32 @@ class EncodingService:
             self._predictions += samples.shape[0]
         return labels
 
+    # -- export --------------------------------------------------------------------
+
+    def export_wire(self, responses) -> bytes:
+        """One compact wire blob for a list of served responses.
+
+        Responses encoded by the same flush share one
+        :class:`~repro.transpile.bound.BoundCircuitBatch`, so the blob
+        is a single template-bound record over exactly those rows — a
+        few hundred bytes per circuit.  Mixed or non-template responses
+        fall back to self-contained gate streams.  Decode on any process
+        holding the same models with
+        :meth:`~repro.service.registry.EncoderRegistry.rehydrate_wire`.
+        """
+        from repro.io.wire import dump_circuits
+
+        return dump_circuits([response.circuit for response in responses])
+
+    def export_qasm(self, responses, version: int = 2) -> list[str]:
+        """OpenQASM text (one document per response) for external runners."""
+        from repro.io.qasm import to_qasm
+
+        return [
+            to_qasm(response.circuit, version=version)
+            for response in responses
+        ]
+
     # -- flushing ------------------------------------------------------------------
 
     def poll(self) -> list[EncodeResponse]:

@@ -80,6 +80,27 @@ class BoundCircuitBatch:
         """A lazy circuit view of one bound sample."""
         return BoundCircuit(self, row)
 
+    def take(self, rows: "list[int]") -> "BoundCircuitBatch":
+        """A new batch holding an arbitrary subset/reordering of rows.
+
+        Copies only the per-row numeric payload (fancy indexing); the
+        template reference is shared.  This is how the wire format
+        (:mod:`repro.io.wire`) exports a scattered selection of bound
+        circuits as one compact record.
+        """
+        rows = [int(row) for row in rows]
+        batch = self.thetas.shape[0]
+        for row in rows:
+            if not 0 <= row < batch:
+                raise TranspilerError(
+                    f"row {row} out of range for batch of {batch}"
+                )
+        return BoundCircuitBatch(
+            self.template,
+            self.thetas[rows],
+            [p.take(rows) for p in self.packed],
+        )
+
     # -- materialization ------------------------------------------------------
 
     def materialize_row(self, row: int) -> list[Instruction]:
@@ -223,6 +244,16 @@ class BoundCircuit(QuantumCircuit):
     def is_materialized(self) -> bool:
         """Whether the instruction list has been built yet."""
         return self._materialized is not None
+
+    @property
+    def bound_batch(self) -> BoundCircuitBatch:
+        """The shared batch IR this circuit is a row view of."""
+        return self._batch
+
+    @property
+    def bound_row(self) -> int:
+        """This circuit's row index inside :attr:`bound_batch`."""
+        return self._row
 
     def materialize(self) -> QuantumCircuit:
         """Expand to a plain eager :class:`QuantumCircuit`.

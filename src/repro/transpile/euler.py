@@ -209,6 +209,21 @@ class PackedSynthesis:
             self.angles[start:stop], self.kinds[start:stop], specials
         )
 
+    def take(self, rows: "list[int]") -> "PackedSynthesis":
+        """Arbitrary-row-subset copy (fancy indexing, so arrays are new).
+
+        The wire-format export path (:mod:`repro.io.wire`) uses this to
+        ship a scattered subset of a batch — e.g. the rows of the
+        responses a service caller actually wants to export.
+        """
+        index_of = {row: i for i, row in enumerate(rows)}
+        specials = {
+            index_of[row]: ops
+            for row, ops in self.specials.items()
+            if row in index_of
+        }
+        return PackedSynthesis(self.angles[rows], self.kinds[rows], specials)
+
     def ops_in_row(self, row: int) -> int:
         """Number of native ops the row expands to."""
         kind = self.kinds[row]

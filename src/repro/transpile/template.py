@@ -43,6 +43,7 @@ the module-level entry point used by the batch encoder.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import weakref
 
@@ -416,6 +417,7 @@ class ParametricTemplate:
         self.backend = backend
         self.optimization_level = optimization_level
         self.num_binds = 0
+        self._fingerprint: "bytes | None" = None
 
         circuit, markers = ansatz.parametric_circuit()
         if circuit.num_qubits > backend.num_qubits:
@@ -486,6 +488,39 @@ class ParametricTemplate:
     def num_physical_qubits(self) -> int:
         """Width of the routed circuits this template binds."""
         return self._num_qubits
+
+    @property
+    def fingerprint(self) -> bytes:
+        """16-byte structural identity digest of this template.
+
+        Hashes everything that determines the compiled bind program —
+        the ansatz's structural signature (the same key
+        :class:`TemplateCache` memoizes on), the backend's structure
+        (name, width, coupling edges, native gate vocabulary), the
+        optimization level, and the parameter count.  Two templates with
+        equal fingerprints bind any theta row to float-bit identical
+        circuits, which is what lets the wire format
+        (:mod:`repro.io.wire`) ship only ``fingerprint + thetas`` and
+        rebind on the receiving side.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            backend = self.backend
+            native = backend.native_gates
+            parts = (
+                TemplateCache._ansatz_key(self.ansatz),
+                backend.name,
+                backend.num_qubits,
+                tuple(sorted(backend.coupling_map.edges)),
+                tuple(sorted(native.one_qubit_gates)),
+                native.two_qubit_gate,
+                tuple(sorted(native.virtual_gates)),
+                self.optimization_level,
+                self.ansatz.num_parameters,
+            )
+            digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+            cached = self._fingerprint = digest[:16]
+        return cached
 
     @property
     def has_trivial_layout(self) -> bool:

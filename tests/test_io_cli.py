@@ -1,0 +1,78 @@
+"""``python -m repro.io`` CLI: conversion round-trips and error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import wire
+from repro.io.__main__ import main
+from repro.io.qasm import from_qasm, save_qasm
+
+from tests.conftest import random_circuit
+from tests.test_io_qasm import assert_instructions_identical
+
+
+@pytest.fixture()
+def fixture_qasm(tmp_path):
+    path = tmp_path / "fixture.qasm"
+    save_qasm(random_circuit(num_qubits=4, depth=30, seed=42), path)
+    return path
+
+
+def test_qasm_wire_qasm_roundtrip_is_byte_identical(fixture_qasm, tmp_path):
+    """dump | load round-trip: the reconverted text matches byte for byte."""
+    wire_path = tmp_path / "fixture.wire"
+    back_path = tmp_path / "roundtrip.qasm"
+    assert main(["convert", str(fixture_qasm), str(wire_path)]) == 0
+    assert wire_path.read_bytes()[:4] == wire.MAGIC
+    assert main(["convert", str(wire_path), str(back_path), "--to", "qasm2"]) == 0
+    assert back_path.read_text() == fixture_qasm.read_text()
+
+
+def test_convert_to_qasm3_parses_back(fixture_qasm, tmp_path):
+    out = tmp_path / "three.out"
+    assert main(
+        ["convert", str(fixture_qasm), str(out), "--to", "qasm3"]
+    ) == 0
+    text = out.read_text()
+    assert text.startswith("OPENQASM 3.0;")
+    assert_instructions_identical(
+        from_qasm(fixture_qasm.read_text()), from_qasm(text)
+    )
+
+
+def test_info_reports_both_formats(fixture_qasm, tmp_path, capsys):
+    assert main(["info", str(fixture_qasm)]) == 0
+    assert "qasm" in capsys.readouterr().out
+    wire_path = tmp_path / "fixture.wire"
+    main(["convert", str(fixture_qasm), str(wire_path)])
+    assert main(["info", str(wire_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wire" in out and "gate-stream" in out
+
+
+def test_template_bound_record_conversion_fails_cleanly(
+    tmp_path, line4, capsys
+):
+    from repro.core.ansatz import EnQodeAnsatz
+    from repro.transpile.template import ParametricTemplate
+
+    template = ParametricTemplate(EnQodeAnsatz(4, 8), line4, 1)
+    thetas = np.linspace(-1.0, 1.0, template.ansatz.num_parameters)
+    blob = wire.dump_batch(template.bind_batch_ir(thetas[None, :]))
+    path = tmp_path / "bound.wire"
+    path.write_bytes(blob)
+    # info works from the header alone...
+    assert main(["info", str(path)]) == 0
+    assert "template-batch" in capsys.readouterr().out
+    # ...but conversion needs the template this process does not hold.
+    assert main(["convert", str(path), str(tmp_path / "out.qasm")]) == 1
+    assert "template" in capsys.readouterr().err
+
+
+def test_unknown_extension_requires_explicit_format(fixture_qasm, tmp_path, capsys):
+    assert main(
+        ["convert", str(fixture_qasm), str(tmp_path / "out.xyz")]
+    ) == 1
+    assert "--to" in capsys.readouterr().err
