@@ -1,6 +1,6 @@
 """Streaming-service throughput: micro-batched submits vs per-sample encode.
 
-Two serving claims are measured and gated here:
+Three serving claims are measured and gated here:
 
 * **Streaming throughput** (the PR-3 tentpole): a stream of
   one-at-a-time ``EncodingService.submit`` calls (batch window 32,
@@ -17,6 +17,16 @@ Two serving claims are measured and gated here:
   burst's submit (p95 ~ gap); the threaded backend's flusher wakes on
   the deadline itself and must hold p95 near ``max_delay`` with zero
   follow-up traffic.
+
+* **Overload shedding** (the PR-9 tentpole): traffic offered at 4x the
+  measured capacity against a bounded admission queue
+  (``max_pending_per_key``, ``overload_policy="reject"``).  Gates:
+  shed submissions must fail fast (median reject < 1ms — admission is
+  an O(1) front-door check, no pipeline work), accepted throughput
+  must stay within 20% of the unthrottled baseline (30% in smoke —
+  overload control must not tax the requests it admits), and accepted
+  p95 latency must stay within a budget derived from the queue bound
+  (a full admission queue is the worst case a request waits behind).
 
 Runs standalone (``PYTHONPATH=src python benchmarks/bench_service_throughput.py``),
 as a CI smoke check (``... --smoke`` — reduced 4-qubit scenarios, no
@@ -36,6 +46,7 @@ import numpy as np
 
 from repro.core import EnQodeConfig, EnQodeEncoder
 from repro.data import load_dataset
+from repro.errors import OverloadError
 from repro.hardware import brisbane_linear_segment
 from repro.service import EncodingService
 
@@ -63,6 +74,16 @@ IDLE_NUM_BURSTS = 6
 #: construction (its first chance to flush a burst is the next burst).
 IDLE_ASYNC_P95_BUDGET = IDLE_MAX_DELAY + 0.10
 IDLE_SYNC_P95_FLOOR = 0.8 * IDLE_GAP
+
+#: Overload scenario: offered load vs measured capacity, queue bound as
+#: a multiple of the batch window, paced-submit duration, and the gates
+#: (reject fast-fail, accepted-throughput floor, derived p95 budget).
+OVERLOAD_FACTOR = 4.0
+OVERLOAD_QUEUE_WINDOWS = 2
+OVERLOAD_SECONDS = 2.0
+OVERLOAD_REJECT_BUDGET = 1e-3
+OVERLOAD_THROUGHPUT_FLOOR = 0.8
+OVERLOAD_SMOKE_THROUGHPUT_FLOOR = 0.7
 
 
 def _fitted_encoder(num_qubits: int, num_samples: int):
@@ -270,6 +291,132 @@ def run_idle_gap_scenario(
     }
 
 
+# -- overload shedding -----------------------------------------------------------------
+
+
+def run_overload_scenario(
+    num_qubits: int,
+    window: int = BATCH_WINDOW,
+    seconds: float = OVERLOAD_SECONDS,
+    num_baseline: int = NUM_SAMPLES,
+) -> dict:
+    """Offer 4x measured capacity against a bounded admission queue.
+
+    Phase 1 measures closed-loop capacity (the baseline the throughput
+    floor is relative to); phase 2 paces submissions at
+    ``OVERLOAD_FACTOR`` times that rate against
+    ``max_pending_per_key = OVERLOAD_QUEUE_WINDOWS * window`` with the
+    reject policy, timing every shed submission's wall cost.
+    """
+    encoder, samples = _fitted_encoder(num_qubits, num_baseline)
+    encoder.encode_batch(samples[: min(8, len(samples))])  # warm caches
+
+    # Phase 1: closed-loop capacity through the same backend shape.
+    # The submitter stays live for the whole window, topping the queue
+    # back up to queue_bound whenever it drops — the same driver-thread
+    # presence the overload phase has, so the throughput floor compares
+    # like with like (a fire-and-drain burst baseline leaves the driver
+    # idle while the workers encode, overstating capacity by the CPU
+    # share the paced offerer consumes in phase 2).
+    queue_bound = OVERLOAD_QUEUE_WINDOWS * window
+    baseline = EncodingService(max_batch=window, backend="thread", workers=2)
+    baseline.register("bench", encoder)
+    submitted = 0
+    with baseline:
+        start = time.perf_counter()
+        while time.perf_counter() - start < seconds:
+            if baseline.pending < queue_bound:
+                baseline.submit(
+                    samples[submitted % len(samples)], key="bench"
+                )
+                submitted += 1
+            else:
+                time.sleep(0.0005)
+        baseline.drain()
+        baseline_elapsed = time.perf_counter() - start
+    baseline_stats = baseline.stats()
+    assert baseline_stats.requests_completed == submitted
+    baseline_sps = submitted / baseline_elapsed
+
+    # Phase 2: paced 4x-over-capacity offered load, bounded queue.
+    service = EncodingService(
+        max_batch=window,
+        backend="thread",
+        workers=2,
+        max_pending_per_key=queue_bound,
+        overload_policy="reject",
+    )
+    service.register("bench", encoder)
+    interval = 1.0 / (OVERLOAD_FACTOR * baseline_sps)
+    reject_seconds: list = []
+    accepted = 0
+    offered = 0
+    with service:
+        start = time.perf_counter()
+        next_at = start
+        while True:
+            now = time.perf_counter()
+            if now - start >= seconds:
+                break
+            if now < next_at:
+                time.sleep(min(next_at - now, 0.001))
+                continue
+            next_at += interval
+            sample = samples[offered % len(samples)]
+            offered += 1
+            call_start = time.perf_counter()
+            try:
+                service.submit(sample, key="bench")
+                accepted += 1
+            except OverloadError:
+                reject_seconds.append(time.perf_counter() - call_start)
+        service.drain()
+        total_elapsed = time.perf_counter() - start
+    stats = service.stats()
+    assert stats.rejected == len(reject_seconds)
+    assert stats.requests_completed == accepted
+    assert stats.requests_submitted == offered
+    accepted_sps = accepted / total_elapsed
+
+    # Derived p95 budget: the worst case an accepted request waits is a
+    # full admission queue draining at capacity, plus flush/scheduling
+    # slack.  Generous on purpose — the gate is "bounded", not "fast".
+    p95_budget = 4.0 * (queue_bound / baseline_sps) + 0.25
+    return {
+        "num_qubits": num_qubits,
+        "batch_window": window,
+        "queue_bound": queue_bound,
+        "overload_factor": OVERLOAD_FACTOR,
+        "duration_seconds": seconds,
+        "offered": offered,
+        "accepted": accepted,
+        "rejected": len(reject_seconds),
+        "baseline_samples_per_sec": baseline_sps,
+        "baseline_p95_latency_ms": baseline_stats.p95_latency * 1e3,
+        "accepted_samples_per_sec": accepted_sps,
+        "accepted_over_baseline": accepted_sps / baseline_sps,
+        "accepted_p95_latency_ms": stats.p95_latency * 1e3,
+        "accepted_p95_budget_ms": p95_budget * 1e3,
+        "median_reject_ms": (
+            float(np.median(reject_seconds)) * 1e3
+            if reject_seconds
+            else float("nan")
+        ),
+        "max_reject_ms": (
+            float(np.max(reject_seconds)) * 1e3
+            if reject_seconds
+            else float("nan")
+        ),
+        "accepted_p95_within_budget": bool(
+            stats.p95_latency <= p95_budget
+        ),
+        "rejects_fail_fast": bool(
+            reject_seconds
+            and float(np.median(reject_seconds)) < OVERLOAD_REJECT_BUDGET
+        ),
+    }
+
+
 def run_benchmark() -> dict:
     return {
         "streaming": {
@@ -281,6 +428,11 @@ def run_benchmark() -> dict:
         "idle_gap": {
             str(num_qubits): run_idle_gap_scenario(num_qubits)
             for num_qubits in QUBIT_COUNTS
+        },
+        #: Overload runs at the gated scale only — it refits an encoder
+        #: per scenario, and the gates are capacity-relative anyway.
+        "overload": {
+            str(GATED_QUBITS): run_overload_scenario(GATED_QUBITS)
         },
     }
 
@@ -315,6 +467,20 @@ def publish(results: dict, write_artifact: bool = True) -> None:
                 f"{row['max_delay'] * 1e3:>12.1f} "
                 f"{row['async_flusher_wakeups']:>8}"
             )
+    overload = results.get("overload", {})
+    if overload:
+        print(
+            f"{'qubits':>6} {'base s/s':>10} {'accept s/s':>11} "
+            f"{'shed':>6} {'reject ms':>10} {'p95 ms':>9}"
+        )
+        for qubits, row in sorted(overload.items()):
+            print(
+                f"{qubits:>6} {row['baseline_samples_per_sec']:>10.1f} "
+                f"{row['accepted_samples_per_sec']:>11.1f} "
+                f"{row['rejected']:>6} "
+                f"{row['median_reject_ms']:>10.3f} "
+                f"{row['accepted_p95_latency_ms']:>9.1f}"
+            )
     if write_artifact:
         print(f"artifact: {ARTIFACT}")
 
@@ -344,6 +510,14 @@ def test_service_throughput():
         assert row["clusters_equal"]
         assert row["async_meets_deadline_budget"], row
         assert row["sync_misses_deadline"], row
+    # Overload gates: shed fast, admit at near-capacity, bound the p95.
+    for row in results["overload"].values():
+        assert row["rejected"] > 0, row  # 4x offered load actually shed
+        assert row["rejects_fail_fast"], row
+        assert (
+            row["accepted_over_baseline"] >= OVERLOAD_THROUGHPUT_FLOOR
+        ), row
+        assert row["accepted_p95_within_budget"], row
 
 
 def smoke() -> None:
@@ -353,6 +527,11 @@ def smoke() -> None:
         "idle_gap": {
             "4q_smoke": run_idle_gap_scenario(
                 4, gap=0.3, burst=2, num_bursts=3, max_delay=0.04
+            )
+        },
+        "overload": {
+            "4q_smoke": run_overload_scenario(
+                4, window=8, seconds=1.0, num_baseline=16
             )
         },
     }
@@ -369,6 +548,14 @@ def smoke() -> None:
     # still beat the burst gap by a wide margin while sync waits it out.
     assert idle["async_p95_latency_ms"] < 0.5 * idle["gap_seconds"] * 1e3
     assert idle["sync_p95_latency_ms"] > 0.5 * idle["gap_seconds"] * 1e3
+    overload = results["overload"]["4q_smoke"]
+    assert overload["rejected"] > 0, overload
+    assert overload["rejects_fail_fast"], overload
+    assert (
+        overload["accepted_over_baseline"]
+        >= OVERLOAD_SMOKE_THROUGHPUT_FLOOR
+    ), overload
+    assert overload["accepted_p95_within_budget"], overload
     print("service throughput smoke: ok")
 
 

@@ -24,7 +24,14 @@ workflow end to end on the service API:
    follow-up traffic or polling needed), and different classes' flushes
    run concurrently while each class's requests still complete in
    submission order (one in-flight flush per key);
-4. wire export — ship a flushed batch to another process as a compact
+4. resilient service — the same thread backend with the PR-9 hardening
+   knobs turned on: a bounded admission queue that sheds over-budget
+   traffic to a finetune-skipped degraded path, transient flush faults
+   retried with full-jitter backoff (a deterministic
+   :class:`repro.service.FaultInjector` stands in for real failures),
+   and the :meth:`~repro.service.ServiceStats.to_metrics` Prometheus
+   export a scraper would read;
+5. wire export — ship a flushed batch to another process as a compact
    :mod:`repro.io` wire record (template fingerprint + bound angles,
    a few hundred bytes per circuit), rehydrate it against a receiving
    registry holding the same bundles, and verify the rebound circuits
@@ -177,6 +184,89 @@ def async_online_service(backend, dataset, model_dir: pathlib.Path) -> None:
     # flusher + workers; submits would now raise ServiceError.
 
 
+def resilient_service(backend, dataset, model_dir: pathlib.Path) -> None:
+    """Serve an overload burst with faults injected, then read metrics."""
+    from repro.service import FaultInjector, FaultRule
+
+    # The resilience knobs all live on ServiceConfig / the constructor:
+    #   max_pending_per_key / max_pending_total — admission budgets; an
+    #     over-budget submit() either raises OverloadError fast
+    #     (overload_policy="reject") or is served inline through the
+    #     finetune-skipped centroid path (overload_policy="degrade": the
+    #     ticket returns already done, response.degraded set — lower
+    #     fidelity, microsecond latency, zero optimizer work);
+    #   submit(deadline=...) — a request still unserved when its budget
+    #     expires fails with DeadlineExceededError before any pipeline
+    #     work is spent on it;
+    #   retry_attempts / retry_backoff / retry_jitter — transient flush
+    #     failures retry with full-jitter exponential backoff;
+    #   breaker_threshold / breaker_reset_timeout — a per-key circuit
+    #     breaker stops hammering a persistently failing encoder
+    #     (CircuitOpenError until a half-open probe succeeds);
+    #   flush_timeout — a wedged flush is abandoned: its tickets fail,
+    #     its key frees for follow-up traffic, its late result is
+    #     discarded.
+    # A deterministic FaultInjector stands in for real failures: the
+    # first two flush attempts raise a transient error, then the rule
+    # exhausts and the service recovers — same seed, same faults, so
+    # chaos runs replay exactly.
+    injector = FaultInjector(
+        [FaultRule("flush", kind="error", probability=1.0, times=2)]
+    )
+    service = EncodingService(
+        max_batch=4,
+        max_delay=0.05,
+        backend="thread",
+        workers=2,
+        max_pending_per_key=4,
+        overload_policy="degrade",
+        retry_attempts=3,
+        retry_backoff=0.01,
+        fault_injector=injector,
+    )
+    for path in sorted(model_dir.glob("enqode_class*.json")):
+        label = int(path.stem.replace("enqode_class", ""))
+        service.load(label, path, backend)
+
+    rng = np.random.default_rng(3)
+    label = service.keys()[0]
+    rows = dataset.class_slice(label)
+    with service:
+        # Burst 16 submissions at a queue budgeted for 4: the overflow
+        # is shed to the degraded path instead of queueing unboundedly,
+        # while the injected faults force the first flush through two
+        # retries before it succeeds.
+        tickets = [
+            service.submit(rows[int(rng.integers(20))], key=label)
+            for _ in range(16)
+        ]
+        service.drain(timeout=30.0)
+        stats = service.stats()
+
+    responses = [ticket.result(flush=False) for ticket in tickets]
+    shed = [r for r in responses if r.degraded]
+    polished = [r for r in responses if not r.degraded]
+    print(
+        f"  burst of {len(tickets)}: {len(polished)} polished, "
+        f"{len(shed)} shed to the degraded path "
+        f"(fidelity {min(r.fidelity for r in polished):.3f} polished "
+        f"vs {min(r.fidelity for r in shed):.3f} degraded)"
+    )
+    print(f"  service: {stats.summary()}")
+    # The same snapshot in Prometheus text exposition format — serve it
+    # from a /metrics endpoint and any scraper can alert on shed rate,
+    # retry rate, or breaker opens.  A few of the resilience series:
+    wanted = (
+        "_requests_shed_degraded_total",
+        "_flush_retries_total",
+        "_requests_rejected_total",
+        "_breaker_opens_total",
+    )
+    for line in stats.to_metrics().splitlines():
+        if not line.startswith("#") and any(w in line for w in wanted):
+            print(f"  metrics: {line}")
+
+
 def wire_export(backend, dataset, model_dir: pathlib.Path) -> None:
     """Export a flushed batch as a wire record and rehydrate it."""
     from repro.io import describe
@@ -247,6 +337,8 @@ def main() -> None:
         online_service(backend, dataset, model_dir)
         print("async online service:")
         async_online_service(backend, dataset, model_dir)
+        print("resilient service:")
+        resilient_service(backend, dataset, model_dir)
         print("wire export / rehydrate:")
         wire_export(backend, dataset, model_dir)
 

@@ -265,6 +265,66 @@ class ServiceConfig:
     use_template:
         Lower flushes via the cached parametric transpile template (the
         fast path) or full per-sample transpiles (escape hatch).
+    max_pending_per_key:
+        Admission control: the most requests one key's queue may hold.
+        A ``submit`` that would exceed it is handled per
+        ``overload_policy`` *before* enqueueing, so overload is decided
+        in O(1) at the front door instead of melting down the worker
+        pool.  ``None`` (default) disables the per-key budget.
+    max_pending_total:
+        Admission control: the most requests all queues together may
+        hold (the global memory/latency budget).  ``None`` disables it.
+    overload_policy:
+        What an over-budget ``submit`` does.  ``"reject"`` (default)
+        raises a typed :class:`repro.errors.OverloadError` immediately —
+        the caller sees backpressure and can retry later.  ``"degrade"``
+        sheds load gracefully: the sample is served *inline* by binding
+        its routed cluster-centroid parameters through the cached
+        template with the finetune stage skipped entirely — the paper's
+        offline/online split exploited as a fallback.  Degraded
+        responses come back in microseconds with ``degraded=True`` and
+        the centroid's (lower) fidelity instead of queueing behind a
+        saturated fine-tune pipeline.
+    flush_timeout:
+        Thread backend only: seconds a dispatched flush may execute
+        before the flusher *abandons* it — its tickets fail with
+        :class:`repro.errors.DeadlineExceededError`, its key is freed
+        for follow-up traffic, and the (unkillable) pipeline run's
+        eventual result is discarded.  This bounds head-of-line
+        blocking when one fine-tune wedges.  ``None`` (default)
+        disables it.  The sync backend ignores it (a sync flush runs on
+        the caller's thread; there is nobody to abandon it).
+    retry_attempts:
+        Most retries of a failing flush whose exception the service's
+        transient classifier accepts (default classifier: the
+        exception's ``transient`` attribute is truthy).  Retries re-run
+        the *same* batch through the same pipeline — deterministic
+        numerics — with exponential backoff and full jitter between
+        attempts, and each request carries its attempt count across
+        worker-death requeues so the budget is per ticket, not per
+        dispatch.  ``0`` (default) disables retries.
+    retry_backoff:
+        Base backoff in seconds: attempt ``k`` sleeps
+        ``retry_backoff * 2**k`` scaled by jitter.  ``0.0`` retries
+        immediately (useful in tests).
+    retry_jitter:
+        Fraction of each backoff randomized away (full-jitter style):
+        the sleep is uniform in
+        ``[delay * (1 - retry_jitter), delay]``.  ``0.0`` is
+        deterministic backoff, ``1.0`` is full jitter.
+    retry_seed:
+        Seed of the jitter RNG (retries stay reproducible).
+    breaker_threshold:
+        Per-key circuit breaker: after this many *consecutive* flush
+        failures the key's breaker opens and submissions for it fail
+        fast with :class:`repro.errors.CircuitOpenError` — a poisoned
+        bundle stops burning workers.  After ``breaker_reset_timeout``
+        seconds the breaker goes half-open: one probe batch is admitted;
+        success closes the breaker, failure re-opens it for another
+        timeout.  ``None`` (default) disables the breaker.
+    breaker_reset_timeout:
+        Seconds an open breaker waits before allowing the half-open
+        probe.
     """
 
     backend: str = "sync"
@@ -272,6 +332,16 @@ class ServiceConfig:
     max_batch: int = 32
     max_delay: "float | None" = None
     use_template: bool = True
+    max_pending_per_key: "int | None" = None
+    max_pending_total: "int | None" = None
+    overload_policy: str = "reject"
+    flush_timeout: "float | None" = None
+    retry_attempts: int = 0
+    retry_backoff: float = 0.05
+    retry_jitter: float = 0.5
+    retry_seed: int = 0
+    breaker_threshold: "int | None" = None
+    breaker_reset_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.backend not in ("sync", "thread"):
@@ -284,3 +354,24 @@ class ServiceConfig:
             raise ServiceError("max_batch must be >= 1")
         if self.max_delay is not None and self.max_delay < 0.0:
             raise ServiceError("max_delay must be non-negative (or None)")
+        if self.max_pending_per_key is not None and self.max_pending_per_key < 1:
+            raise ServiceError("max_pending_per_key must be >= 1 (or None)")
+        if self.max_pending_total is not None and self.max_pending_total < 1:
+            raise ServiceError("max_pending_total must be >= 1 (or None)")
+        if self.overload_policy not in ("reject", "degrade"):
+            raise ServiceError(
+                f"overload_policy must be 'reject' or 'degrade', "
+                f"got {self.overload_policy!r}"
+            )
+        if self.flush_timeout is not None and self.flush_timeout <= 0.0:
+            raise ServiceError("flush_timeout must be > 0 (or None)")
+        if self.retry_attempts < 0:
+            raise ServiceError("retry_attempts must be >= 0")
+        if self.retry_backoff < 0.0:
+            raise ServiceError("retry_backoff must be non-negative")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ServiceError("retry_jitter must be in [0, 1]")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ServiceError("breaker_threshold must be >= 1 (or None)")
+        if self.breaker_reset_timeout < 0.0:
+            raise ServiceError("breaker_reset_timeout must be non-negative")

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.ansatz import EnQodeAnsatz
+from repro.core.batch import BatchFidelityObjective
 from repro.core.clustering import nearest_centers
 from repro.core.transfer import TransferLearner, TransferOutcome
 from repro.errors import OptimizationError
@@ -316,6 +317,12 @@ class EncodePipeline:
         self.finetune = FinetuneStage(transfer)
         self.bind = BindStage(ansatz)
         self.lower = LowerStage(ansatz, backend, optimization_level)
+        #: Optional chaos hook (see :mod:`repro.service.resilience`):
+        #: when set, every stage of :meth:`run_reported` fires its site
+        #: through it before executing, letting tests inject stage
+        #: exceptions and latency deterministically.  ``None`` costs
+        #: one attribute check per stage.
+        self.fault_injector = None
         self.stats = PipelineStats()
         # Guards stats application only.  The stages themselves are
         # re-entrant — every run builds its own objective/optimizer/plan
@@ -403,10 +410,13 @@ class EncodePipeline:
         report = PipelineRunReport(batch_size=samples.shape[0])
         if samples.shape[0] == 0:
             return [], report
+        self._fire_fault("route")
         with Timer() as route_timer:
             plan = self.route.run(samples)
+        self._fire_fault("finetune")
         with Timer() as tune_timer:
             outcomes = self.finetune.run(plan)
+        self._fire_fault("lower")
         with Timer() as template_timer:
             # On a cold cache this pays the one-time structural transpile;
             # its cost is amortized into every sample's compile_time below.
@@ -414,6 +424,7 @@ class EncodePipeline:
                 template, report.template_hit = self.lower.template_reported()
             else:
                 template = None
+        self._fire_fault("bind")
         shared_time = (
             route_timer.elapsed + tune_timer.elapsed + template_timer.elapsed
         ) / len(outcomes)
@@ -476,16 +487,130 @@ class EncodePipeline:
         report.finetune_seconds = tune_timer.elapsed
         report.bind_seconds = bind_seconds
         report.lower_seconds = lower_seconds
+        self._apply_report(report, len(encoded))
+        return encoded, report
+
+    def run_degraded(
+        self, samples: np.ndarray, use_template: bool = True
+    ) -> list[EncodedSample]:
+        """Finetune-skipped fallback (see :meth:`run_degraded_reported`)."""
+        return self.run_degraded_reported(
+            samples, use_template=use_template
+        )[0]
+
+    def run_degraded_reported(
+        self, samples: np.ndarray, use_template: bool = True
+    ) -> "tuple[list[EncodedSample], PipelineRunReport]":
+        """Route and bind only: the *finetune* stage is skipped entirely.
+
+        This is the paper's offline/online split exploited as a
+        graceful-degradation fallback (the service's ``"degrade"``
+        overload policy): each sample binds its routed cluster's
+        *centroid* parameters directly — the warm start the finetune
+        stage would have polished — so the cost is one nearest-center
+        assignment plus one template re-bind, microseconds instead of
+        an L-BFGS drive.  The reported fidelity is the sample's true
+        fidelity *at the centroid parameters* (evaluated exactly, one
+        vectorized objective pass), so callers see honestly how much
+        quality the shortcut gave up;
+        ``optimizer_iterations == optimizer_evaluations == 0`` marks
+        the skipped stage.  Deliberately a separate method rather than
+        a flag on :meth:`run_reported` — the fault-free full path must
+        stay byte-for-byte untouched.
+
+        No fault sites fire here: this path *is* the fallback, and it
+        runs inline on the submitting thread.
+        """
+        samples = self.prepare(samples)
+        report = PipelineRunReport(batch_size=samples.shape[0])
+        if samples.shape[0] == 0:
+            return [], report
+        with Timer() as route_timer:
+            plan = self.route.run(samples)
+            thetas = np.asarray(plan.theta0, dtype=float)
+            objective = BatchFidelityObjective(
+                self.transfer.symbolic, self.ansatz, samples
+            )
+            fidelities = objective.fidelities(thetas)
+        with Timer() as template_timer:
+            if use_template:
+                template, report.template_hit = self.lower.template_reported()
+            else:
+                template = None
+        shared_time = (
+            route_timer.elapsed + template_timer.elapsed
+        ) / samples.shape[0]
+
+        encoded: list[EncodedSample] = []
+        bind_seconds = 0.0
+        lower_seconds = template_timer.elapsed
+        if template is not None:
+            with Timer() as bind_timer:
+                transpiled_batch = template.bind_batch(thetas)
+            bind_seconds = bind_timer.elapsed
+            bind_share = bind_timer.elapsed / samples.shape[0]
+            report.template_binds = samples.shape[0]
+            for row in range(samples.shape[0]):
+                encoded.append(
+                    EncodedSample(
+                        target=samples[row],
+                        theta=thetas[row],
+                        cluster_index=int(plan.indices[row]),
+                        ideal_fidelity=float(fidelities[row]),
+                        transpiled=transpiled_batch[row],
+                        compile_time=shared_time + bind_share,
+                        optimizer_iterations=0,
+                        optimizer_evaluations=0,
+                        ansatz=self.ansatz,
+                        logical=None,
+                    )
+                )
+        else:
+            for row in range(samples.shape[0]):
+                with Timer() as bind_timer:
+                    logical = self.bind.run(thetas[row])
+                with Timer() as lower_timer:
+                    transpiled = self.lower.run(logical)
+                bind_seconds += bind_timer.elapsed
+                lower_seconds += lower_timer.elapsed
+                encoded.append(
+                    EncodedSample(
+                        target=samples[row],
+                        theta=thetas[row],
+                        cluster_index=int(plan.indices[row]),
+                        ideal_fidelity=float(fidelities[row]),
+                        transpiled=transpiled,
+                        compile_time=shared_time
+                        + bind_timer.elapsed
+                        + lower_timer.elapsed,
+                        optimizer_iterations=0,
+                        optimizer_evaluations=0,
+                        ansatz=self.ansatz,
+                        logical=logical,
+                    )
+                )
+        report.route_seconds = route_timer.elapsed
+        report.bind_seconds = bind_seconds
+        report.lower_seconds = lower_seconds
+        self._apply_report(report, len(encoded))
+        return encoded, report
+
+    def _fire_fault(self, site: str) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            injector.fire(site)
+
+    def _apply_report(self, report: PipelineRunReport, count: int) -> None:
         with self._stats_lock:
             self.stats.runs += 1
-            self.stats.samples += len(encoded)
+            self.stats.samples += count
             self.stats.route_seconds += report.route_seconds
             self.stats.finetune_seconds += report.finetune_seconds
             self.stats.bind_seconds += report.bind_seconds
             self.stats.lower_seconds += report.lower_seconds
             self.stats.template_binds += report.template_binds
-            self.stats.batch_sizes.append(len(encoded))
-        return encoded, report
+            self.stats.batch_sizes.append(count)
+        return None
 
     def __repr__(self) -> str:
         return (

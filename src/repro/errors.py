@@ -49,6 +49,37 @@ class ServiceError(ReproError):
     """Raised by the online :mod:`repro.service` serving layer."""
 
 
+class OverloadError(ServiceError):
+    """Raised by admission control when a queue budget is exhausted.
+
+    ``EncodingService.submit`` rejects *before* enqueueing (the request
+    never enters the micro-batcher), so shedding is O(1) and a caller
+    can distinguish "the service is saturated, back off" from every
+    other service failure with one ``except`` clause.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline expires before it is served.
+
+    Covers both per-request ``submit(deadline=...)`` expiry (the ticket
+    is failed before any pipeline work is spent on it) and whole-flush
+    ``ServiceConfig.flush_timeout`` abandonment (a wedged flush is cut
+    loose so it cannot head-of-line-block its key).
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a key's circuit breaker is open.
+
+    After ``ServiceConfig.breaker_threshold`` consecutive flush
+    failures the key's breaker opens and submissions fail fast here —
+    microseconds, no queueing, no worker time — until the
+    ``breaker_reset_timeout`` elapses and a half-open probe is allowed
+    through.
+    """
+
+
 class ClusteringError(ReproError):
     """Raised for invalid clustering configurations."""
 

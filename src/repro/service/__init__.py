@@ -19,7 +19,13 @@ package is that serving surface:
   flusher thread that honors the ``max_delay`` deadline with zero
   follow-up traffic plus a worker pool flushing different keys
   concurrently, with one flush in flight per key so responses stay
-  instruction-identical to the synchronous path.
+  instruction-identical to the synchronous path;
+* :mod:`repro.service.resilience` — the hardening layer: a seeded
+  :class:`FaultInjector` chaos harness, per-key
+  :class:`CircuitBreaker`, and :class:`RetryPolicy` backoff, composed
+  by the service into admission control (queue budgets with reject or
+  degrade-shed policies), per-request deadlines, flush retries, and
+  flush-timeout abandonment.
 
 Every flush executes the same :class:`repro.core.pipeline.
 EncodePipeline` stage objects as ``EnQodeEncoder.encode_batch``, so
@@ -31,16 +37,34 @@ from repro.service.async_service import ThreadBackend
 from repro.service.batcher import MicroBatcher
 from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
 from repro.service.registry import EncoderRegistry
+from repro.service.resilience import (
+    FAULT_SITES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    RetryPolicy,
+    WorkerDeath,
+    default_transient_classifier,
+)
 from repro.service.service import EncodeTicket, EncodingService
 
 __all__ = [
+    "FAULT_SITES",
+    "CircuitBreaker",
     "EncodeRequest",
     "EncodeResponse",
     "EncodeTicket",
     "EncoderRegistry",
     "EncodingService",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
     "MicroBatcher",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceStats",
     "ThreadBackend",
+    "WorkerDeath",
+    "default_transient_classifier",
 ]

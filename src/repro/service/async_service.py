@@ -33,7 +33,21 @@ function of each key's arrival order, independent of scheduling.
 tickets (``EncodeTicket.result`` re-raises); the flusher, the pool, and
 every other key's traffic keep running.
 
-All mutable state (queues, tickets, in-flight sets, stats) is guarded
+*No flush wedges its key forever.*  With ``flush_timeout`` configured,
+the flusher abandons any flush still executing past the budget: its
+tickets fail with :class:`~repro.errors.DeadlineExceededError`, its key
+and pipeline marks are released so follow-up traffic dispatches, and
+the zombie worker — which cannot be killed mid-pipeline — discards its
+late result through a task-id handshake
+(:meth:`ThreadBackend.consume_abandoned`) instead of double-counting.
+
+*Worker death is survivable.*  An injected
+:class:`~repro.service.resilience.WorkerDeath` (fired only *before* the
+flush body runs) requeues the untouched batch at the head of the task
+queue with its in-flight marks kept — ordering holds — and spawns a
+replacement thread before the dying one exits.
+
+All mutable state (queues, tickets, in-flight marks, stats) is guarded
 by the owning service's single lock; both condition variables share it,
 so every predicate check is atomic with the sleep that follows it.
 Flush execution itself happens outside the lock — only dispatch and
@@ -42,11 +56,13 @@ completion bookkeeping serialize.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceededError, ServiceError
+from repro.service.resilience import WorkerDeath
 
 #: Lifecycle states.  NEW -> (start) -> RUNNING -> (stop) -> STOPPING
 #: -> STOPPED -> (start) -> RUNNING ...  STOPPING only exists inside
@@ -81,9 +97,25 @@ class ThreadBackend:
         #: Wakes quiescence waiters: ``drain``/``stop``/``flush``.
         self._idle = threading.Condition(service._lock)
         self._state = _NEW
-        self._tasks: "deque[tuple[object, list, int | None]]" = deque()
-        self._inflight_keys: set = set()
-        self._inflight_pipelines: set = set()
+        #: Dispatched-but-unstarted flushes: (task_id, key, requests,
+        #: pipeline_id).  Task ids make every dispatch distinguishable,
+        #: which abandonment and death-requeue bookkeeping both need.
+        self._tasks: "deque[tuple[int, object, list, int | None]]" = deque()
+        self._task_ids = itertools.count()
+        #: In-flight marks map key/pipeline -> owning task_id, so a
+        #: release after abandonment only clears a mark the *same* task
+        #: set (the key may have re-dispatched under a new task id).
+        self._inflight_keys: "dict[object, int]" = {}
+        self._inflight_pipelines: "dict[int, int]" = {}
+        #: Flushes a worker is executing right now:
+        #: task_id -> (key, pipeline_id, requests, started_at).
+        self._running: "dict[int, tuple]" = {}
+        #: Task ids the flusher abandoned (flush_timeout overdue); the
+        #: executing worker consumes its id on completion and discards
+        #: the result.
+        self._abandoned: "set[int]" = set()
+        #: Replacement worker threads spawned after injected deaths.
+        self._respawns = 0
         self._forced: set = set()
         #: While > 0 a drain() is waiting for quiescence, and the
         #: flusher dispatches every pending key unconditionally — also
@@ -103,6 +135,17 @@ class ThreadBackend:
     def running(self) -> bool:
         return self._state == _RUNNING
 
+    @property
+    def will_serve(self) -> bool:
+        """True while pending tickets can still resolve.
+
+        RUNNING obviously serves; STOPPING does too — a draining stop
+        dispatches everything before the state advances, and a
+        non-draining stop fails every pending ticket while still in
+        STOPPING.  Only NEW/STOPPED backends leave a wait hopeless.
+        """
+        return self._state in (_RUNNING, _STOPPING)
+
     def start(self) -> None:
         """Spawn the flusher and worker threads; idempotent-hostile.
 
@@ -119,6 +162,9 @@ class ThreadBackend:
             self._tasks.clear()
             self._inflight_keys.clear()
             self._inflight_pipelines.clear()
+            self._running.clear()
+            self._abandoned.clear()
+            self._respawns = 0
             self._forced.clear()
             self.flusher_wakeups = 0
             self._threads = [
@@ -256,19 +302,27 @@ class ThreadBackend:
             # this loop only re-checks the predicate.
 
     def _reject_pending(self) -> None:
-        """Fail every queued-but-undispatched ticket (stop without drain)."""
-        service = self.service
-        for key in list(service.batcher.pending_keys()):
-            while service.batcher.pending(key):
-                for request in service.batcher.drain(key):
-                    ticket = service._tickets.pop(request.request_id, None)
-                    error = ServiceError(
-                        f"request {request.request_id} rejected: service "
-                        "stopped without draining"
-                    )
-                    if ticket is not None:
-                        ticket._fail(error)
-                    service._failed += 1
+        """Fail every queued-but-undispatched ticket (stop without drain).
+
+        Already-dispatched tasks still execute (``_pending_work`` waits
+        on them); only queue residents are rejected, through the same
+        service helper the sync backend's non-draining stop uses.
+        """
+        self.service._reject_all_pending()
+
+    def consume_abandoned(self, task_id: int) -> bool:
+        """Atomically check-and-clear a task's abandoned mark.
+
+        Called by :meth:`EncodingService._execute_flush` (under the
+        service lock) right before it would apply a result or fail
+        tickets: ``True`` means the flusher already failed this flush's
+        tickets and freed its key while the flush was executing, so the
+        caller must discard its outcome entirely.
+        """
+        if task_id in self._abandoned:
+            self._abandoned.discard(task_id)
+            return True
+        return False
 
     # -- the flusher ---------------------------------------------------------------
 
@@ -276,22 +330,78 @@ class ThreadBackend:
         with self._work:
             while self._state != _STOPPED:
                 now = self.service.clock()
+                self._abandon_overdue(now)
                 self._dispatch(now)
                 if not self._pending_work():
                     self._idle.notify_all()
                 # Sleep until the earliest deadline a *dispatchable* key
-                # could hit; blocked keys wake us via _task_done, new
-                # work and lifecycle changes via notify_all.  With no
-                # armed deadline this blocks indefinitely — the no-
-                # busy-wait guarantee.
+                # could hit — or the earliest executing flush would
+                # become abandonable; blocked keys wake us via the
+                # worker's completion notify, new work and lifecycle
+                # changes via notify_all.  With no armed deadline this
+                # blocks indefinitely — the no-busy-wait guarantee.
                 deadline = self.service.batcher.next_deadline(
                     exclude=self._undispatchable_keys()
                 )
+                candidates = [] if deadline is None else [deadline]
+                flush_timeout = self.service.config.flush_timeout
+                if flush_timeout is not None and self._running:
+                    candidates.append(
+                        min(t[3] for t in self._running.values())
+                        + flush_timeout
+                    )
                 timeout = (
-                    None if deadline is None else max(deadline - now, 0.0)
+                    None
+                    if not candidates
+                    else max(min(candidates) - now, 0.0)
                 )
                 self._work.wait(timeout)
                 self.flusher_wakeups += 1
+
+    def _abandon_overdue(self, now: float) -> None:
+        """Cut loose every flush executing past ``flush_timeout``.
+
+        The worker thread itself cannot be interrupted mid-pipeline, so
+        abandonment is bookkeeping-only: fail the flush's still-pending
+        tickets with :class:`~repro.errors.DeadlineExceededError`,
+        release the key/pipeline marks (task-id-guarded) so follow-up
+        traffic stops head-of-line-blocking, and mark the task id so the
+        zombie worker discards its eventual result.  Caller holds the
+        lock (flusher loop).
+        """
+        flush_timeout = self.service.config.flush_timeout
+        if flush_timeout is None or not self._running:
+            return
+        service = self.service
+        abandoned_any = False
+        for task_id in list(self._running):
+            key, pipeline_id, requests, started_at = self._running[task_id]
+            if now - started_at < flush_timeout:
+                continue
+            del self._running[task_id]
+            self._abandoned.add(task_id)
+            if self._inflight_keys.get(key) == task_id:
+                del self._inflight_keys[key]
+            if self._inflight_pipelines.get(pipeline_id) == task_id:
+                del self._inflight_pipelines[pipeline_id]
+            for request in requests:
+                ticket = service._tickets.pop(request.request_id, None)
+                if ticket is None or ticket._event.is_set():
+                    continue
+                ticket._fail(
+                    DeadlineExceededError(
+                        f"request {request.request_id} abandoned: its "
+                        f"flush exceeded the {flush_timeout}s "
+                        "flush_timeout budget"
+                    )
+                )
+                service._failed += 1
+                service._deadline_expired += 1
+            abandoned_any = True
+        if abandoned_any:
+            # Freed keys may dispatch immediately; flush_key/drain
+            # waiters blocked on the wedged key must re-check too.
+            self._idle.notify_all()
 
     def _dispatch(self, now: float) -> None:
         """Hand every triggered, non-busy key's batch to the worker pool."""
@@ -317,12 +427,13 @@ class ThreadBackend:
             requests = batcher.drain(key)  # caps at max_batch
             if not requests:
                 continue
-            self._inflight_keys.add(key)
+            task_id = next(self._task_ids)
+            self._inflight_keys[key] = task_id
             if pipeline_id is not None:
-                self._inflight_pipelines.add(pipeline_id)
+                self._inflight_pipelines[pipeline_id] = task_id
             if not batcher.pending(key):
                 self._forced.discard(key)  # fully served; else next round
-            self._tasks.append((key, requests, pipeline_id))
+            self._tasks.append((task_id, key, requests, pipeline_id))
             dispatched = True
         if dispatched:
             self._work.notify_all()
@@ -368,19 +479,92 @@ class ThreadBackend:
                     self._work.wait()
                 if not self._tasks:
                     return  # stopped and drained
-                key, requests, pipeline_id = self._tasks.popleft()
+                task_id, key, requests, pipeline_id = self._tasks.popleft()
+                # Stamp the start time before releasing the lock so the
+                # flusher's flush_timeout sweep sees every executing
+                # flush from its first instant — and wake the flusher,
+                # whose current sleep was computed before this flush
+                # existed and so carries no abandonment deadline for it.
+                self._running[task_id] = (
+                    key,
+                    pipeline_id,
+                    requests,
+                    service.clock(),
+                )
+                if service.config.flush_timeout is not None:
+                    self._work.notify_all()
+            died = False
             try:
-                # reraise=False: the flush routes its exception into the
-                # affected tickets; nothing may escape and kill the pool.
-                service._execute_flush(key, requests, reraise=False)
+                try:
+                    # The "worker" fault site models the thread itself
+                    # dying *before* the flush body touches the batch.
+                    if service.fault_injector is not None:
+                        service.fault_injector.fire("worker")
+                except WorkerDeath:
+                    died = True
+                except Exception:
+                    # Non-death worker-site faults (latency already
+                    # slept inside fire) have nothing to poison here;
+                    # the flush body has its own sites.  Run normally.
+                    pass
+                if not died:
+                    # reraise=False: the flush routes its exception into
+                    # the affected tickets; nothing may escape and kill
+                    # the pool.
+                    service._execute_flush(
+                        key, requests, reraise=False, task_id=task_id
+                    )
             finally:
                 with self._work:
-                    self._inflight_keys.discard(key)
-                    self._inflight_pipelines.discard(pipeline_id)
+                    self._running.pop(task_id, None)
+                    if task_id in self._abandoned:
+                        # The flusher already failed the tickets and
+                        # freed the marks (if _execute_flush didn't
+                        # consume the id itself); nothing left to do.
+                        self._abandoned.discard(task_id)
+                        if died:
+                            self._spawn_replacement()
+                    elif died:
+                        # The batch is untouched: requeue it at the head
+                        # with its marks kept, so the key's FIFO order —
+                        # and hence its numerics — are unchanged, and
+                        # spawn a replacement before this thread exits.
+                        self._tasks.appendleft(
+                            (task_id, key, requests, pipeline_id)
+                        )
+                        self._spawn_replacement()
+                    else:
+                        # Task-id-guarded release: after an abandonment
+                        # the key may already be in flight under a new
+                        # id, which this late release must not clear.
+                        if self._inflight_keys.get(key) == task_id:
+                            del self._inflight_keys[key]
+                        if self._inflight_pipelines.get(pipeline_id) == task_id:
+                            del self._inflight_pipelines[pipeline_id]
                     # The freed key may have queued a follow-up batch,
                     # and quiescence waiters need a look either way.
                     self._work.notify_all()
                     self._idle.notify_all()
+            if died:
+                return  # the replacement carries on; this thread is dead
+
+    def _spawn_replacement(self) -> None:
+        """Start a replacement worker after an injected death.
+
+        Caller holds the lock.  Skipped once fully STOPPED (the pool is
+        being torn down; no work remains that the drain/join path does
+        not already cover).
+        """
+        if self._state == _STOPPED:
+            return
+        self._respawns += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"enqode-worker-r{self._respawns}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
 
     def __repr__(self) -> str:
         return (

@@ -56,40 +56,56 @@ class MicroBatcher:
     # -- flush triggers ------------------------------------------------------------
 
     def due_keys(self, now: float) -> list:
-        """Keys whose oldest request has reached the latency deadline.
+        """Keys with an expired trigger: queue deadline or request deadline.
 
-        A deadline landing *exactly* at ``now`` is due (``>=``), so a
-        flusher that slept precisely until :meth:`next_deadline` always
-        finds the key it woke for — never a zero-second re-sleep loop.
-        ``max_delay == 0.0`` means "due at the first opportunity".
+        A key is due when its oldest request has waited ``max_delay``,
+        *or* when any of its queued requests carries a per-request
+        ``deadline`` that has passed — an expired request must be
+        drained promptly so its ticket fails with
+        :class:`~repro.errors.DeadlineExceededError` instead of rotting
+        in the queue.  A deadline landing *exactly* at ``now`` is due
+        (``>=``), so a flusher that slept precisely until
+        :meth:`next_deadline` always finds the key it woke for — never
+        a zero-second re-sleep loop.  ``max_delay == 0.0`` means "due
+        at the first opportunity".
         """
-        if self.max_delay is None:
-            return []
-        return [
-            key
-            for key, queue in self._queues.items()
-            if queue and now - queue[0].submitted_at >= self.max_delay
-        ]
+        due = []
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            if (
+                self.max_delay is not None
+                and now - queue[0].submitted_at >= self.max_delay
+            ):
+                due.append(key)
+            elif any(request.expired(now) for request in queue):
+                due.append(key)
+        return due
 
     def next_deadline(self, exclude=()) -> "float | None":
         """Absolute time the earliest pending deadline expires.
 
-        ``None`` when no deadline is armed — ``max_delay`` unset, or
-        every queue empty — which tells a background flusher to block
+        Considers both the ``max_delay`` queue deadline and every
+        queued request's own ``deadline``.  ``None`` when no deadline
+        is armed — which tells a background flusher to block
         indefinitely until new work arrives instead of busy-polling.
         Keys in ``exclude`` (e.g. those with a flush already in flight,
         whose completion wakes the flusher anyway) don't arm a wakeup;
         without this an overdue-but-busy key would clamp the timeout to
         zero and spin the flusher.
         """
-        if self.max_delay is None:
-            return None
-        heads = [
-            queue[0].submitted_at
-            for key, queue in self._queues.items()
-            if queue and key not in exclude
-        ]
-        return min(heads) + self.max_delay if heads else None
+        candidates = []
+        for key, queue in self._queues.items():
+            if not queue or key in exclude:
+                continue
+            if self.max_delay is not None:
+                candidates.append(queue[0].submitted_at + self.max_delay)
+            candidates.extend(
+                request.deadline
+                for request in queue
+                if request.deadline is not None
+            )
+        return min(candidates) if candidates else None
 
     def full_keys(self) -> list:
         """Keys whose queue has reached ``max_batch``."""

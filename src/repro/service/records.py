@@ -20,12 +20,26 @@ from repro.core.pipeline import EncodedSample
 
 @dataclass
 class EncodeRequest:
-    """One sample submitted to the service, awaiting a micro-batch flush."""
+    """One sample submitted to the service, awaiting a micro-batch flush.
+
+    ``deadline`` is the *absolute* (service-clock) time after which the
+    request must not be served — expired requests are failed with
+    :class:`~repro.errors.DeadlineExceededError` before any pipeline
+    work is spent on them (``None`` = no deadline).  ``attempts``
+    counts flush retries this request has ridden through; it lives on
+    the request (not the flush) so the retry budget stays per-ticket
+    even when a worker death requeues the batch.
+    """
 
     request_id: int
     key: int | str
     sample: np.ndarray
     submitted_at: float
+    deadline: "float | None" = None
+    attempts: int = 0
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
     def __repr__(self) -> str:
         return (
@@ -47,6 +61,12 @@ class EncodeResponse:
     pool executed (responses sharing a ``flush_id`` were encoded
     together, and per key the ids are strictly increasing: one flush in
     flight per key, completed in submission order).
+
+    ``degraded`` marks a load-shed response: admission control (see
+    ``ServiceConfig.overload_policy``) served it by binding the routed
+    cluster-centroid parameters *without* the finetune stage —
+    microseconds of work, the centroid's lower fidelity, and
+    ``flush_id == -1`` (it rode no micro-batch).
     """
 
     request_id: int
@@ -56,6 +76,7 @@ class EncodeResponse:
     completed_at: float
     batch_size: int
     flush_id: int = -1
+    degraded: bool = False
 
     @property
     def latency(self) -> float:
@@ -142,12 +163,30 @@ class ServiceStats:
     snapshot came from and ``flusher_wakeups`` counts background-flusher
     wakeups (0 under ``"sync"``) — a flusher honoring a deadline by
     sleeping wakes O(flushes) times, a busy-waiting one diverges.
+
+    The resilience counters follow the admission/flush paths:
+    ``rejected`` counts submissions refused at the front door (queue
+    budget with the ``"reject"`` policy, or an open circuit breaker),
+    ``shed_degraded`` counts over-budget submissions served by the
+    finetune-skipped degraded path (these also count in
+    ``requests_completed``), ``retries`` counts flush retry attempts,
+    ``breaker_opens`` counts closed/half-open → open transitions across
+    all keys, and ``deadline_expired`` counts requests failed because
+    their deadline passed (also counted in ``requests_failed``).
+    Conservation: every accepted-or-refused submission resolves —
+    ``requests_submitted == requests_completed + requests_failed +
+    rejected + requests_pending`` at any quiescent point.
     """
 
     requests_submitted: int = 0
     requests_completed: int = 0
     requests_failed: int = 0
     requests_pending: int = 0
+    rejected: int = 0
+    shed_degraded: int = 0
+    retries: int = 0
+    breaker_opens: int = 0
+    deadline_expired: int = 0
     num_flushes: int = 0
     mean_batch_size: float = float("nan")
     p50_latency: float = float("nan")
@@ -168,7 +207,7 @@ class ServiceStats:
 
     def summary(self) -> str:
         """One human-readable line (what the examples print)."""
-        return (
+        line = (
             f"{self.requests_completed}/{self.requests_submitted} served "
             f"in {self.num_flushes} flushes "
             f"(mean batch {self.mean_batch_size:.1f}), "
@@ -180,3 +219,172 @@ class ServiceStats:
             f"{self.template_cache_misses} misses, "
             f"{self.template_binds} template binds"
         )
+        resilience = []
+        if self.rejected:
+            resilience.append(f"{self.rejected} rejected")
+        if self.shed_degraded:
+            resilience.append(f"{self.shed_degraded} shed degraded")
+        if self.retries:
+            resilience.append(f"{self.retries} retries")
+        if self.breaker_opens:
+            resilience.append(f"{self.breaker_opens} breaker opens")
+        if self.deadline_expired:
+            resilience.append(f"{self.deadline_expired} deadline expired")
+        if resilience:
+            line += ", " + ", ".join(resilience)
+        return line
+
+    def to_metrics(self, prefix: str = "enqode") -> str:
+        """This snapshot in Prometheus text exposition format.
+
+        Scrape-ready: counters get a ``_total`` suffix, latency
+        percentiles export as summary quantiles, per-key completions as
+        a labelled counter family.  No dependencies — the exposition
+        format is plain text — and NaN-valued gauges (an idle service)
+        are simply omitted.  Serve the returned string with content
+        type ``text/plain; version=0.0.4``.
+        """
+
+        def esc(value) -> str:
+            return (
+                str(value)
+                .replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+
+        lines: list[str] = []
+
+        def emit(name, kind, help_text, value, labels="") -> None:
+            if isinstance(value, float) and not np.isfinite(value):
+                return
+            lines.append(f"# HELP {prefix}_{name} {help_text}")
+            lines.append(f"# TYPE {prefix}_{name} {kind}")
+            lines.append(f"{prefix}_{name}{labels} {value}")
+
+        emit(
+            "requests_submitted_total", "counter",
+            "Submissions accepted or refused by submit().",
+            self.requests_submitted,
+        )
+        emit(
+            "requests_completed_total", "counter",
+            "Requests served (degraded responses included).",
+            self.requests_completed,
+        )
+        emit(
+            "requests_failed_total", "counter",
+            "Requests whose ticket resolved with an error.",
+            self.requests_failed,
+        )
+        emit(
+            "requests_rejected_total", "counter",
+            "Submissions refused fast: queue budget or open breaker.",
+            self.rejected,
+        )
+        emit(
+            "requests_shed_degraded_total", "counter",
+            "Over-budget submissions served by the finetune-skipped path.",
+            self.shed_degraded,
+        )
+        emit(
+            "requests_deadline_expired_total", "counter",
+            "Requests failed because their deadline passed.",
+            self.deadline_expired,
+        )
+        emit(
+            "flush_retries_total", "counter",
+            "Flush retry attempts after transient failures.",
+            self.retries,
+        )
+        emit(
+            "breaker_opens_total", "counter",
+            "Circuit-breaker open transitions across all keys.",
+            self.breaker_opens,
+        )
+        emit(
+            "flushes_total", "counter",
+            "Micro-batch flushes executed.",
+            self.num_flushes,
+        )
+        emit(
+            "template_binds_total", "counter",
+            "Rows lowered through a cached transpile template.",
+            self.template_binds,
+        )
+        emit(
+            "template_cache_hits_total", "counter",
+            "Template-cache hits incurred by this service's flushes.",
+            self.template_cache_hits,
+        )
+        emit(
+            "template_cache_misses_total", "counter",
+            "Template-cache misses incurred by this service's flushes.",
+            self.template_cache_misses,
+        )
+        emit(
+            "predictions_total", "counter",
+            "Samples classified through predict().",
+            self.predictions_completed,
+        )
+        emit(
+            "flusher_wakeups_total", "counter",
+            "Background-flusher wakeups (0 under the sync backend).",
+            self.flusher_wakeups,
+        )
+        emit(
+            "requests_pending", "gauge",
+            "Requests queued in the micro-batcher right now.",
+            self.requests_pending,
+        )
+        emit(
+            "mean_batch_size", "gauge",
+            "Mean requests per flush.",
+            self.mean_batch_size,
+        )
+        emit(
+            "mean_fidelity", "gauge",
+            "Mean ideal fidelity of served embeddings.",
+            self.mean_fidelity,
+        )
+        emit(
+            "evals_per_sample", "gauge",
+            "Mean optimizer objective evaluations per served sample.",
+            self.evals_per_sample,
+        )
+        quantiles = [
+            ("0.5", self.p50_latency),
+            ("0.95", self.p95_latency),
+        ]
+        finite = [(q, v) for q, v in quantiles if np.isfinite(v)]
+        if finite:
+            lines.append(
+                f"# HELP {prefix}_request_latency_seconds "
+                "End-to-end request latency over the recent window."
+            )
+            lines.append(f"# TYPE {prefix}_request_latency_seconds summary")
+            for quantile, value in finite:
+                lines.append(
+                    f"{prefix}_request_latency_seconds"
+                    f'{{quantile="{quantile}"}} {value}'
+                )
+        if self.per_key_completed:
+            lines.append(
+                f"# HELP {prefix}_requests_completed_by_key "
+                "Requests served, by registry key."
+            )
+            lines.append(f"# TYPE {prefix}_requests_completed_by_key counter")
+            for key, count in sorted(
+                self.per_key_completed.items(), key=lambda kv: str(kv[0])
+            ):
+                lines.append(
+                    f"{prefix}_requests_completed_by_key"
+                    f'{{key="{esc(key)}"}} {count}'
+                )
+        emit(
+            "backend_info", "gauge",
+            "Execution backend of this snapshot (label carries the name).",
+            1,
+            labels=f'{{backend="{esc(self.backend)}"}}',
+        )
+        return "\n".join(lines) + "\n"

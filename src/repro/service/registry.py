@@ -123,6 +123,23 @@ class EncoderRegistry:
 
         save_qml_model(self.model(key), path)
 
+    def unregister(self, key) -> None:
+        """Remove the ``key`` encoder (and any classifier bundle).
+
+        The operational escape hatch for a poisoned bundle: a key whose
+        circuit breaker keeps opening can be pulled out of routing
+        without restarting the service.  Unknown keys raise
+        :class:`~repro.errors.ServiceError` — silently "removing"
+        nothing would mask an ops typo.
+        """
+        if key not in self._encoders:
+            raise ServiceError(
+                f"no encoder registered under key {key!r}; "
+                f"available: {self.keys()}"
+            )
+        del self._encoders[key]
+        self._models.pop(key, None)
+
     @classmethod
     def from_per_class(cls, per_class: PerClassEnQode) -> "EncoderRegistry":
         """Adopt a trained :class:`PerClassEnQode`'s encoders wholesale."""

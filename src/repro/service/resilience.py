@@ -1,0 +1,323 @@
+"""Resilience primitives: fault injection, circuit breaking, retries.
+
+Production serving has to survive the failure modes the happy path
+never exercises — a stage raising mid-flush, a fine-tune taking 100x
+its budget, a worker thread dying.  This module provides the three
+small machines the service composes for that, plus the deterministic
+chaos harness the tests drive them with:
+
+* :class:`FaultInjector` — a seeded, rule-driven fault source threaded
+  through :class:`repro.core.pipeline.EncodePipeline` (stage sites) and
+  the service's flush/worker paths.  Rules fire exceptions, added
+  latency, or worker death deterministically (``times``/``after``
+  schedules) or probabilistically (one shared seeded RNG), so a chaos
+  run is replayable: same rules + same seed + same arrival order =
+  same faults.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine, one per registry key, driven by the service clock
+  (injectable, so breaker timing is testable without sleeping).
+* :class:`RetryPolicy` — exponential backoff with seeded full jitter
+  and an injectable sleeper.
+
+None of these spawn threads or keep global state; the owning service
+serializes access under its own lock where needed (the injector and
+policy carry small internal locks only for their RNG streams, which
+worker threads share).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError, ServiceError
+
+#: Sites the pipeline and service fire, in data-path order.  ``fire``
+#: accepts any string (custom sites cost nothing), these are the ones
+#: built-in code reaches.
+FAULT_SITES = ("route", "finetune", "bind", "lower", "flush", "worker")
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by a :class:`FaultInjector` rule.
+
+    ``transient`` feeds the service's default retry classifier: a
+    transient injected fault is retried (up to the budget), a permanent
+    one fails its flush immediately — letting chaos tests exercise both
+    paths with one exception type.
+    """
+
+    def __init__(self, site: str, transient: bool = True) -> None:
+        kind = "transient" if transient else "permanent"
+        super().__init__(f"injected {kind} fault at site {site!r}")
+        self.site = site
+        self.transient = transient
+
+
+class WorkerDeath(Exception):
+    """Injected worker-thread death (site ``"worker"`` only).
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it models
+    the thread itself dying, not the flush failing, and must only be
+    raised before the flush body runs — the backend's worker loop
+    requeues the untouched batch at the head of the queue, spawns a
+    replacement thread, and lets this one exit.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One deterministic-or-probabilistic fault schedule for a site.
+
+    ``kind`` is ``"error"`` (raise :class:`InjectedFault`),
+    ``"latency"`` (sleep ``latency`` seconds through the injector's
+    sleeper), or ``"death"`` (raise :class:`WorkerDeath`; only valid at
+    the ``"worker"`` site).  The rule skips its first ``after`` eligible
+    calls, then fires at most ``times`` times (``None`` = forever), each
+    time with ``probability`` (1.0 = always).  ``calls``/``fired`` are
+    runtime counters chaos assertions can read.
+    """
+
+    site: str
+    kind: str = "error"
+    probability: float = 1.0
+    times: "int | None" = None
+    after: int = 0
+    latency: float = 0.0
+    transient: bool = True
+    calls: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "latency", "death"):
+            raise ServiceError(
+                f"fault kind must be 'error', 'latency', or 'death', "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "death" and self.site != "worker":
+            raise ServiceError(
+                "kind='death' only makes sense at site 'worker' (it "
+                "models the worker thread dying, not a stage failing)"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ServiceError("probability must be in [0, 1]")
+        if self.times is not None and self.times < 0:
+            raise ServiceError("times must be >= 0 (or None for forever)")
+        if self.after < 0:
+            raise ServiceError("after must be >= 0")
+        if self.latency < 0.0:
+            raise ServiceError("latency must be non-negative")
+
+
+class FaultInjector:
+    """Seeded, rule-driven fault source for chaos testing.
+
+    Thread through a service
+    (``EncodingService(fault_injector=...)``) and it reaches every
+    pipeline stage plus the flush and worker sites; ``fire(site)`` is a
+    no-op unless a rule matches, so production code pays one attribute
+    check when no injector is attached.
+
+    Determinism: probabilistic rules draw from one seeded RNG under a
+    lock, so a single-threaded (sync-backend) chaos run is exactly
+    replayable.  Under the thread backend the *set* of faults drawn is
+    reproducible but their assignment to flushes depends on scheduling;
+    strict-replay tests use ``times``/``after`` schedules (no RNG) or
+    the sync backend.
+    """
+
+    def __init__(
+        self,
+        rules: "list[FaultRule] | tuple[FaultRule, ...]" = (),
+        seed: int = 0,
+        sleeper=time.sleep,
+    ) -> None:
+        self.rules = list(rules)
+        self.sleeper = sleeper
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        #: Chronological ``(site, kind)`` pairs of every fault fired.
+        self.log: "list[tuple[str, str]]" = []
+
+    def fire(self, site: str) -> None:
+        """Apply every matching rule: sleep latencies, then raise.
+
+        Latency rules all apply (sleeps accumulate); the first matching
+        error/death rule raises after the sleeps, so a latency rule and
+        an error rule on one site model a slow *and* failing stage.
+        """
+        matched: list[FaultRule] = []
+        with self._lock:
+            for rule in self.rules:
+                if rule.site != site:
+                    continue
+                rule.calls += 1
+                if rule.calls <= rule.after:
+                    continue
+                if rule.times is not None and rule.fired >= rule.times:
+                    continue
+                if (
+                    rule.probability < 1.0
+                    and float(self._rng.random()) >= rule.probability
+                ):
+                    continue
+                rule.fired += 1
+                self.log.append((site, rule.kind))
+                matched.append(rule)
+        for rule in matched:
+            if rule.kind == "latency":
+                self.sleeper(rule.latency)
+        for rule in matched:
+            if rule.kind == "death":
+                raise WorkerDeath(f"injected worker death at site {site!r}")
+            if rule.kind == "error":
+                raise InjectedFault(site, transient=rule.transient)
+
+    def fired_count(self, site: "str | None" = None) -> int:
+        """Total faults fired, optionally for one site only."""
+        with self._lock:
+            return sum(
+                rule.fired
+                for rule in self.rules
+                if site is None or rule.site == site
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(rules={len(self.rules)}, "
+            f"fired={self.fired_count()})"
+        )
+
+
+def default_transient_classifier(exc: Exception) -> bool:
+    """A failure is retryable iff it carries a truthy ``transient``.
+
+    The service's default: library errors don't set the attribute (a
+    width mismatch will never heal by retrying), so only failures that
+    explicitly opt in — like :class:`InjectedFault` — are retried.
+    Inject a custom classifier for real deployments (e.g. treating
+    resource-exhaustion errors from a remote backend as transient).
+    """
+    return bool(getattr(exc, "transient", False))
+
+
+class CircuitBreaker:
+    """Per-key closed → open → half-open failure gate.
+
+    Closed: everything admitted, ``failures`` counts consecutive
+    failures.  At ``threshold`` the breaker opens: :meth:`allow`
+    refuses until ``reset_timeout`` seconds pass (per the caller's
+    clock), then goes half-open and admits probes.  A success in any
+    state closes the breaker and zeroes the count; a failure while
+    half-open re-opens immediately.  All methods expect the caller to
+    hold the owning service's lock and to pass its clock reading — the
+    breaker itself keeps no clock and no lock, which is what makes its
+    timing deterministically testable.
+    """
+
+    def __init__(self, threshold: int, reset_timeout: float) -> None:
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at: "float | None" = None
+        self.opens = 0
+
+    def allow(self, now: float) -> bool:
+        """May a submission for this key be admitted at time ``now``?"""
+        if self.state == "open":
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = "half-open"
+                return True
+            return False
+        return True
+
+    def record_failure(self, now: float) -> bool:
+        """Count one flush failure; True if the breaker just opened."""
+        if self.state == "half-open":
+            # The probe failed: straight back to open, fresh timeout.
+            self.failures = 0
+            self.state = "open"
+            self.opened_at = now
+            self.opens += 1
+            return True
+        self.failures += 1
+        if self.failures >= self.threshold and self.state != "open":
+            self.failures = 0
+            self.state = "open"
+            self.opened_at = now
+            self.opens += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+        self.opened_at = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.failures}/{self.threshold}, "
+            f"opens={self.opens})"
+        )
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded full jitter.
+
+    Attempt ``k`` (0-based) sleeps ``backoff * 2**k`` scaled by a
+    uniform draw in ``[1 - jitter, 1]`` — the AWS "full jitter" shape,
+    which decorrelates retry storms without ever sleeping longer than
+    the deterministic schedule.  The RNG is seeded and the sleeper
+    injectable, so retry timing is reproducible and tests run at zero
+    wall cost with ``backoff=0``.
+    """
+
+    def __init__(
+        self,
+        backoff: float = 0.05,
+        jitter: float = 0.5,
+        seed: int = 0,
+        sleeper=time.sleep,
+    ) -> None:
+        if backoff < 0.0:
+            raise ServiceError("backoff must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise ServiceError("jitter must be in [0, 1]")
+        self.backoff = backoff
+        self.jitter = jitter
+        self.sleeper = sleeper
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (0-based), jitter applied."""
+        base = self.backoff * (2.0**attempt)
+        if base <= 0.0:
+            return 0.0
+        with self._lock:
+            u = float(self._rng.random())
+        return base * (1.0 - self.jitter + self.jitter * u)
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep the attempt's delay through the sleeper; returns it."""
+        delay = self.delay(attempt)
+        if delay > 0.0:
+            self.sleeper(delay)
+        return delay
+
+
+__all__ = [
+    "FAULT_SITES",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "WorkerDeath",
+    "default_transient_classifier",
+]

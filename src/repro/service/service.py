@@ -64,12 +64,22 @@ import numpy as np
 
 from repro.core.config import ServiceConfig
 from repro.core.encoder import EnQodeEncoder
-from repro.errors import ServiceError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
 from repro.hardware.backend import Backend
 from repro.service.async_service import ThreadBackend
 from repro.service.batcher import MicroBatcher
 from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
 from repro.service.registry import EncoderRegistry
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    default_transient_classifier,
+)
 
 #: Latency percentiles are computed over this many most-recent requests,
 #: so a long-lived service keeps O(1) memory per request stream (means
@@ -138,6 +148,11 @@ class EncodeTicket:
             if self._service is not None:
                 self._service._serve_ticket(self, flush=flush, timeout=timeout)
         if self.error is not None:
+            # Typed serving errors (deadline expiry, overload, stop
+            # rejection) re-raise as themselves so callers can catch
+            # them specifically; everything else wraps.
+            if isinstance(self.error, ServiceError):
+                raise self.error
             raise ServiceError(
                 f"request {self.request.request_id} failed during its "
                 f"micro-batch flush: {self.error}"
@@ -198,7 +213,20 @@ class EncodingService:
         use_template: bool = True,
         backend: str = "sync",
         workers: int = 4,
+        max_pending_per_key: "int | None" = None,
+        max_pending_total: "int | None" = None,
+        overload_policy: str = "reject",
+        flush_timeout: "float | None" = None,
+        retry_attempts: int = 0,
+        retry_backoff: float = 0.05,
+        retry_jitter: float = 0.5,
+        retry_seed: int = 0,
+        breaker_threshold: "int | None" = None,
+        breaker_reset_timeout: float = 30.0,
         clock=time.monotonic,
+        fault_injector=None,
+        transient_classifier=None,
+        retry_sleeper=time.sleep,
     ) -> None:
         if config is None:
             config = ServiceConfig(
@@ -207,6 +235,16 @@ class EncodingService:
                 max_batch=max_batch,
                 max_delay=max_delay,
                 use_template=use_template,
+                max_pending_per_key=max_pending_per_key,
+                max_pending_total=max_pending_total,
+                overload_policy=overload_policy,
+                flush_timeout=flush_timeout,
+                retry_attempts=retry_attempts,
+                retry_backoff=retry_backoff,
+                retry_jitter=retry_jitter,
+                retry_seed=retry_seed,
+                breaker_threshold=breaker_threshold,
+                breaker_reset_timeout=breaker_reset_timeout,
             )
         self.config = config
         self.registry = registry if registry is not None else EncoderRegistry()
@@ -241,6 +279,30 @@ class EncodingService:
         self._template_hits = 0
         self._template_misses = 0
         self._template_binds = 0
+        # Resilience machinery (see repro.service.resilience).  The
+        # injector fires the "flush" site inside _execute_flush and is
+        # attached to every pipeline registered *through this service*
+        # (register/load) so stage sites fire too; the retry policy and
+        # transient classifier drive the flush retry loop; breakers are
+        # lazily created per key under the service lock.
+        self.fault_injector = fault_injector
+        self.transient_classifier = (
+            transient_classifier
+            if transient_classifier is not None
+            else default_transient_classifier
+        )
+        self._retry_policy = RetryPolicy(
+            backoff=config.retry_backoff,
+            jitter=config.retry_jitter,
+            seed=config.retry_seed,
+            sleeper=retry_sleeper,
+        )
+        self._breakers: "dict[object, CircuitBreaker]" = {}
+        self._rejected = 0
+        self._shed_degraded = 0
+        self._retries = 0
+        self._breaker_opens = 0
+        self._deadline_expired = 0
         self._backend_impl = (
             ThreadBackend(self, config.workers)
             if config.backend == "thread"
@@ -251,13 +313,22 @@ class EncodingService:
 
     def register(self, key, encoder: EnQodeEncoder) -> EnQodeEncoder:
         """Register a fitted encoder under ``key``."""
-        return self.registry.register(key, encoder)
+        encoder = self.registry.register(key, encoder)
+        self._attach_injector(encoder)
+        return encoder
 
     def load(
         self, key, path: "str | pathlib.Path", backend: Backend
     ) -> EnQodeEncoder:
         """Load a versioned model bundle into the ``key`` slot."""
-        return self.registry.load(key, path, backend)
+        encoder = self.registry.load(key, path, backend)
+        self._attach_injector(encoder)
+        return encoder
+
+    def _attach_injector(self, encoder: EnQodeEncoder) -> None:
+        """Thread the service's fault injector into a pipeline's stages."""
+        if self.fault_injector is not None:
+            encoder.pipeline.fault_injector = self.fault_injector
 
     def keys(self) -> list:
         return self.registry.keys()
@@ -296,12 +367,36 @@ class EncodingService:
         join the flusher + workers — see
         :meth:`~repro.service.async_service.ThreadBackend.stop`.  Sync
         backend: a draining stop flushes every queue inline; with
-        ``drain=False`` it is a no-op (nothing runs in the background).
+        ``drain=False`` every queued ticket is *rejected* (fails with
+        :class:`ServiceError`) so no caller is ever left blocking on a
+        ticket nobody will serve.
         """
         if self._backend_impl is not None:
             self._backend_impl.stop(drain=drain, timeout=timeout)
         elif drain:
             self.flush()
+        else:
+            with self._lock:
+                self._reject_all_pending()
+
+    def _reject_all_pending(self) -> None:
+        """Fail every queued-but-unserved ticket (caller holds the lock).
+
+        Both backends' non-draining stop paths funnel here: leaving a
+        queued ticket unresolved would hang its ``result()`` forever
+        (the event would never be set).
+        """
+        for key in list(self.batcher.pending_keys()):
+            while self.batcher.pending(key):
+                for request in self.batcher.drain(key):
+                    ticket = self._tickets.pop(request.request_id, None)
+                    error = ServiceError(
+                        f"request {request.request_id} rejected: service "
+                        "stopped without draining"
+                    )
+                    if ticket is not None:
+                        ticket._fail(error)
+                    self._failed += 1
 
     def drain(self, timeout: "float | None" = None) -> None:
         """Serve everything pending and block until quiescent."""
@@ -318,13 +413,33 @@ class EncodingService:
 
     # -- submission ----------------------------------------------------------------
 
-    def submit(self, sample: np.ndarray, key=None) -> EncodeTicket:
+    def submit(
+        self, sample: np.ndarray, key=None, deadline: "float | None" = None
+    ) -> EncodeTicket:
         """Queue one sample; returns a ticket that fills on flush.
 
         Without ``key`` the sample is routed to the registry's nearest
         encoder (the ``PerClassEnQode.encode_auto`` rule).  Validation
         happens here — a malformed sample fails its own ``submit`` call
         instead of poisoning a whole micro-batch later.
+
+        ``deadline`` is a per-request latency budget in seconds
+        (relative to now): a request still unserved when it expires is
+        failed with :class:`~repro.errors.DeadlineExceededError` before
+        any pipeline work is spent on it — the batcher treats the
+        expiry like a flush trigger, and the flush path drops expired
+        requests from the batch (including between retry attempts).
+
+        Admission control runs before enqueueing: an open circuit
+        breaker for ``key`` raises
+        :class:`~repro.errors.CircuitOpenError`; a queue-budget
+        violation (``max_pending_per_key`` / ``max_pending_total``)
+        either raises :class:`~repro.errors.OverloadError`
+        (``overload_policy="reject"``) or serves the sample inline
+        through the finetune-skipped degraded path
+        (``overload_policy="degrade"`` — the returned ticket is
+        already ``done`` with ``response.degraded`` set).  Both
+        refusal counters land in :meth:`stats`.
 
         Sync backend: if this submission fills the key's queue to
         ``max_batch`` the queue is flushed before returning (the
@@ -335,6 +450,10 @@ class EncodingService:
         wait on the ticket (``result(timeout=...)``) for the response.
         """
         sample = self._validate(np.asarray(sample, dtype=float).ravel())
+        if deadline is not None and deadline <= 0.0:
+            raise ServiceError(
+                "deadline must be > 0 seconds (relative to submission)"
+            )
         if key is None:
             key = self.registry.route(sample)
         encoder = self.registry.get(key)
@@ -343,6 +462,8 @@ class EncodingService:
                 f"sample has {sample.size} features, encoder {key!r} "
                 f"expects {encoder.input_size}"
             )
+        config = self.config
+        shed = False
         with self._lock:
             # Checked under the lock: stop() holds it for its whole
             # state transition, so a submission can never slip into the
@@ -355,16 +476,52 @@ class EncodingService:
                     "thread backend is not running; start() the service "
                     "(or use it as a context manager) before submitting"
                 )
-            request = EncodeRequest(
-                request_id=next(self._ids),
-                key=key,
-                sample=sample,
-                submitted_at=self.clock(),
+            now = self.clock()
+            breaker = self._breakers.get(key)
+            if breaker is not None and not breaker.allow(now):
+                self._submitted += 1
+                self._rejected += 1
+                raise CircuitOpenError(
+                    f"circuit breaker for key {key!r} is open "
+                    f"({breaker.threshold} consecutive flush failures); "
+                    f"probes resume {config.breaker_reset_timeout}s "
+                    "after it opened"
+                )
+            over = (
+                config.max_pending_per_key is not None
+                and self.batcher.pending(key) >= config.max_pending_per_key
+            ) or (
+                config.max_pending_total is not None
+                and self.batcher.pending() >= config.max_pending_total
             )
-            ticket = EncodeTicket(request=request, _service=self)
-            self._tickets[request.request_id] = ticket
-            self._submitted += 1
-            full = self.batcher.add(request)
+            if over and config.overload_policy == "reject":
+                self._submitted += 1
+                self._rejected += 1
+                raise OverloadError(
+                    f"queue budget exceeded for key {key!r} "
+                    f"({self.batcher.pending(key)} pending on the key, "
+                    f"{self.batcher.pending()} total); retry later or "
+                    "switch overload_policy='degrade'"
+                )
+            if over:
+                self._submitted += 1
+                shed = True
+            else:
+                request = EncodeRequest(
+                    request_id=next(self._ids),
+                    key=key,
+                    sample=sample,
+                    submitted_at=now,
+                    deadline=None if deadline is None else now + deadline,
+                )
+                ticket = EncodeTicket(request=request, _service=self)
+                self._tickets[request.request_id] = ticket
+                self._submitted += 1
+                full = self.batcher.add(request)
+        if shed:
+            # Outside the lock: the degraded bind is microseconds, but
+            # there is no reason to serialize it against the batcher.
+            return self._serve_degraded(sample, key)
         if self._backend_impl is not None:
             # Wake the flusher: a fresh queue head may arm an earlier
             # deadline, and a full queue must dispatch now.
@@ -373,6 +530,55 @@ class EncodingService:
         if full:
             self._flush_key(key)
         self.poll()
+        return ticket
+
+    def _serve_degraded(self, sample: np.ndarray, key) -> EncodeTicket:
+        """Serve one over-budget sample via the finetune-skipped path.
+
+        Runs inline on the submitting thread (route + centroid template
+        bind — microseconds), so shed traffic never touches the queues
+        or the worker pool.  The returned ticket is already resolved:
+        ``done`` with ``degraded=True``, or failed if even the degraded
+        bind errored.
+        """
+        request = EncodeRequest(
+            request_id=next(self._ids),
+            key=key,
+            sample=sample,
+            submitted_at=self.clock(),
+        )
+        ticket = EncodeTicket(request=request, _service=self)
+        try:
+            pipeline = self.registry.get(key).pipeline
+            encoded = pipeline.run_degraded(
+                sample[np.newaxis, :], use_template=self.use_template
+            )[0]
+        except Exception as exc:
+            with self._lock:
+                self._failed += 1
+            ticket._fail(exc)
+            return ticket
+        response = EncodeResponse(
+            request_id=request.request_id,
+            key=key,
+            encoded=encoded,
+            submitted_at=request.submitted_at,
+            completed_at=self.clock(),
+            batch_size=1,
+            flush_id=-1,
+            degraded=True,
+        )
+        with self._lock:
+            self._completed += 1
+            self._shed_degraded += 1
+            self._latency_window.append(response.latency)
+            self._latency_sum += response.latency
+            self._evaluation_sum += encoded.optimizer_evaluations
+            self._fidelity_sum += encoded.ideal_fidelity
+            self._per_key_completed[key] = (
+                self._per_key_completed.get(key, 0) + 1
+            )
+        ticket._complete(response)
         return ticket
 
     def _validate(self, sample: np.ndarray) -> np.ndarray:
@@ -395,15 +601,27 @@ class EncodingService:
             if flush:
                 self.flush(ticket.request.key)
             return
+        # A ticket still unresolved on a backend that will never serve
+        # again (stopped, or never started) cannot resolve — no flusher,
+        # no workers — so waiting (with or without flush, with or
+        # without timeout) would hang forever.  Raise instead.  stop()
+        # fails every pending ticket before this can normally trigger;
+        # it is the belt to that suspender.  A STOPPING backend (a
+        # draining stop in progress on another thread) *will* serve the
+        # ticket, so that state falls through to the wait.
+        if not self._backend_impl.will_serve and not ticket._event.is_set():
+            raise ServiceError(
+                f"request {ticket.request.request_id} cannot be served: "
+                "the thread backend is not running"
+            )
         # One absolute deadline spans the forced flush *and* the event
         # wait, so the documented bound holds end to end (not 2x).
         deadline = None if timeout is None else time.monotonic() + timeout
-        if flush and not ticket._event.is_set():
-            if not self._backend_impl.running:
-                raise ServiceError(
-                    f"request {ticket.request.request_id} cannot be served: "
-                    "the thread backend is not running"
-                )
+        if (
+            flush
+            and not ticket._event.is_set()
+            and self._backend_impl.running
+        ):
             self._backend_impl.flush_key(ticket.request.key, timeout=timeout)
         remaining = (
             None
@@ -526,8 +744,48 @@ class EncodingService:
             requests = self.batcher.drain(key)
         return self._execute_flush(key, requests, reraise=True)
 
+    def _expire_requests(self, requests: list) -> list:
+        """Fail every deadline-expired request; return the survivors.
+
+        Called before the pipeline runs and again between retry
+        attempts, so a request never consumes fine-tune work after its
+        deadline passed — the paper's bounded-latency story enforced at
+        the flush boundary.
+        """
+        now = self.clock()
+        live = [r for r in requests if not r.expired(now)]
+        if len(live) == len(requests):
+            return requests
+        with self._lock:
+            for request in requests:
+                if not request.expired(now):
+                    continue
+                ticket = self._tickets.pop(request.request_id, None)
+                error = DeadlineExceededError(
+                    f"request {request.request_id} expired: its "
+                    f"{request.deadline - request.submitted_at:.3f}s "
+                    "deadline passed before its micro-batch flushed"
+                )
+                if ticket is not None:
+                    ticket._fail(error)
+                self._failed += 1
+                self._deadline_expired += 1
+        return live
+
+    def _flush_abandoned(self, task_id) -> bool:
+        """Did the flusher abandon this flush while it executed?
+
+        Caller holds the lock.  Consuming the mark transfers the
+        bookkeeping duty: an abandoned flush's tickets were already
+        failed (and its key freed) by the flusher, so the executing
+        worker must discard its result without touching any counter.
+        """
+        if task_id is None or self._backend_impl is None:
+            return False
+        return self._backend_impl.consume_abandoned(task_id)
+
     def _execute_flush(
-        self, key, requests: list, reraise: bool
+        self, key, requests: list, reraise: bool, task_id=None
     ) -> list[EncodeResponse]:
         """Encode one drained micro-batch and resolve its tickets.
 
@@ -537,51 +795,96 @@ class EncodingService:
         ``stats()`` snapshots never see a half-applied flush.  With
         ``reraise=False`` (worker pool) an encoding failure resolves
         into the affected tickets instead of propagating.
+
+        Resilience behaviour: deadline-expired requests are failed
+        before (and between) pipeline runs; a failure the transient
+        classifier accepts is retried up to ``retry_attempts`` times
+        with backoff+jitter (the attempt count rides on the requests,
+        so the budget survives worker-death requeues); terminal
+        failures and successes feed the key's circuit breaker.  Under
+        the thread backend, ``task_id`` lets a flush that outlived
+        ``flush_timeout`` detect its own abandonment and discard its
+        result — the flusher already failed the tickets and freed the
+        key, so applying anything here would double-count.
         """
+        requests = self._expire_requests(requests)
         if not requests:
             return []
-        try:
-            encoder = self.registry.get(key)
-            pipeline = encoder.pipeline
-            samples = np.stack([request.sample for request in requests])
-            # The same stage objects encode/encode_batch execute — a flush
-            # of B requests is numerically identical to encode_batch on
-            # them (one vectorized template bind_batch sweep per flush).
-            encoded, report = pipeline.run_reported(
-                samples, use_template=self.use_template
-            )
-        except Exception as exc:
-            # The requests are already drained: fail their tickets loudly
-            # (result() re-raises) rather than stranding them forever —
-            # e.g. a hot-reloaded bundle with a different amplitude width
-            # invalidates whatever was queued under the old model.
-            with self._lock:
-                for request in requests:
-                    ticket = self._tickets.pop(request.request_id, None)
-                    if ticket is not None:
-                        ticket._fail(exc)
-                    self._failed += 1
-            if reraise:
-                raise ServiceError(
-                    f"flush of {len(requests)} request(s) for encoder "
-                    f"{key!r} failed: {exc}"
-                ) from exc
-            return []
+        config = self.config
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.fire("flush")
+                encoder = self.registry.get(key)
+                pipeline = encoder.pipeline
+                samples = np.stack(
+                    [request.sample for request in requests]
+                )
+                # The same stage objects encode/encode_batch execute — a
+                # flush of B requests is numerically identical to
+                # encode_batch on them (one vectorized template
+                # bind_batch sweep per flush).
+                encoded, report = pipeline.run_reported(
+                    samples, use_template=self.use_template
+                )
+                break
+            except Exception as exc:
+                attempt = max(request.attempts for request in requests)
+                if attempt < config.retry_attempts and self.transient_classifier(
+                    exc
+                ):
+                    with self._lock:
+                        self._retries += 1
+                        for request in requests:
+                            request.attempts = attempt + 1
+                    self._retry_policy.sleep(attempt)
+                    requests = self._expire_requests(requests)
+                    if not requests:
+                        return []
+                    continue
+                # Terminal failure: the requests are already drained, so
+                # fail their tickets loudly (result() re-raises) rather
+                # than stranding them forever — e.g. a hot-reloaded
+                # bundle with a different amplitude width invalidates
+                # whatever was queued under the old model.
+                with self._lock:
+                    if self._record_breaker_failure(key):
+                        self._breaker_opens += 1
+                    if self._flush_abandoned(task_id):
+                        return []
+                    for request in requests:
+                        ticket = self._tickets.pop(request.request_id, None)
+                        if ticket is not None:
+                            ticket._fail(exc)
+                        self._failed += 1
+                if reraise:
+                    raise ServiceError(
+                        f"flush of {len(requests)} request(s) for encoder "
+                        f"{key!r} failed: {exc}"
+                    ) from exc
+                return []
         completed_at = self.clock()
-        flush_id = next(self._flush_ids)
-        responses = [
-            EncodeResponse(
-                request_id=request.request_id,
-                key=key,
-                encoded=sample,
-                submitted_at=request.submitted_at,
-                completed_at=completed_at,
-                batch_size=len(requests),
-                flush_id=flush_id,
-            )
-            for request, sample in zip(requests, encoded)
-        ]
+        responses = []
         with self._lock:
+            self._record_breaker_success(key)
+            if self._flush_abandoned(task_id):
+                # The flusher cut this flush loose mid-run: its tickets
+                # already failed with DeadlineExceededError and its key
+                # already re-dispatched.  Discard the late result whole.
+                return []
+            flush_id = next(self._flush_ids)
+            responses = [
+                EncodeResponse(
+                    request_id=request.request_id,
+                    key=key,
+                    encoded=sample,
+                    submitted_at=request.submitted_at,
+                    completed_at=completed_at,
+                    batch_size=len(requests),
+                    flush_id=flush_id,
+                )
+                for request, sample in zip(requests, encoded)
+            ]
             # One atomic stats application per flush: counts, sums, and
             # the percentile window advance together or not at all.
             if report.template_hit is not None:
@@ -605,6 +908,33 @@ class EncodingService:
                 if ticket is not None:
                     ticket._complete(response)
         return responses
+
+    # -- circuit breakers ----------------------------------------------------------
+
+    def _breaker_for(self, key) -> "CircuitBreaker | None":
+        """The key's breaker, lazily created (caller holds the lock)."""
+        if self.config.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_threshold,
+                self.config.breaker_reset_timeout,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def _record_breaker_failure(self, key) -> bool:
+        """Count a flush failure; True if the breaker just opened."""
+        breaker = self._breaker_for(key)
+        if breaker is None:
+            return False
+        return breaker.record_failure(self.clock())
+
+    def _record_breaker_success(self, key) -> None:
+        breaker = self._breakers.get(key)
+        if breaker is not None:
+            breaker.record_success()
 
     # -- introspection -------------------------------------------------------------
 
@@ -656,6 +986,11 @@ class EncodingService:
                 template_binds=self._template_binds,
                 per_key_completed=dict(self._per_key_completed),
                 predictions_completed=self._predictions,
+                rejected=self._rejected,
+                shed_degraded=self._shed_degraded,
+                retries=self._retries,
+                breaker_opens=self._breaker_opens,
+                deadline_expired=self._deadline_expired,
                 backend=self.config.backend,
                 flusher_wakeups=(
                     self._backend_impl.flusher_wakeups

@@ -1,0 +1,143 @@
+"""Soak test: sustained concurrent traffic under injected faults.
+
+Runs only under ``pytest -m stress`` (a separate, non-blocking CI job;
+tier-1 skips it).  N submitter threads hammer M keys for
+``STRESS_SECONDS`` (env, default 3) through the thread backend with
+probabilistic transient faults, retries, per-request deadlines, and an
+over-budget degrade policy all active at once.  Asserts the two
+properties every resilience feature must jointly preserve: *ticket
+conservation* (every submission resolves or was refused — nothing lost,
+nothing hung) and *clean shutdown* (stop() joins within the watchdog).
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import EnQodeConfig, EnQodeEncoder
+from repro.errors import CircuitOpenError, OverloadError, ServiceError
+from repro.service import EncodingService, FaultInjector, FaultRule
+
+STRESS_SECONDS = float(os.environ.get("STRESS_SECONDS", "3"))
+
+pytestmark = pytest.mark.stress
+
+
+@pytest.fixture(scope="module")
+def fitted_pair(segment4):
+    rng = np.random.default_rng(99)
+    centers = rng.normal(size=(2, 16))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    encoders = []
+    for seed, center in enumerate(centers):
+        block = center + 0.04 * rng.normal(size=(30, 16))
+        block /= np.linalg.norm(block, axis=1, keepdims=True)
+        config = EnQodeConfig(
+            num_qubits=4,
+            num_layers=4,
+            offline_restarts=2,
+            offline_max_iterations=200,
+            online_max_iterations=40,
+            max_clusters=3,
+            seed=seed,
+        )
+        encoder = EnQodeEncoder(segment4, config)
+        encoder.fit(block)
+        encoders.append(encoder)
+    return encoders
+
+
+def test_soak_conservation_and_clean_shutdown(fitted_pair, watchdog_extend):
+    watchdog_extend(STRESS_SECONDS + 120.0)  # fit + soak + drain budget
+    rng = np.random.default_rng(2024)
+    samples = rng.normal(size=(64, 16))
+    samples /= np.linalg.norm(samples, axis=1, keepdims=True)
+
+    injector = FaultInjector(
+        [
+            FaultRule("finetune", kind="error", probability=0.05),
+            FaultRule("flush", kind="error", probability=0.05),
+            FaultRule("route", kind="latency", latency=0.001, probability=0.2),
+            FaultRule("worker", kind="death", probability=0.01),
+        ],
+        seed=4321,
+    )
+    service = EncodingService(
+        backend="thread",
+        workers=3,
+        max_batch=8,
+        max_delay=0.01,
+        max_pending_per_key=16,
+        overload_policy="degrade",
+        retry_attempts=3,
+        retry_backoff=0.002,
+        breaker_threshold=20,
+        breaker_reset_timeout=0.05,
+        flush_timeout=10.0,  # generous: exercises the sweep, not abandonment
+        fault_injector=injector,
+    )
+    service.register("left", fitted_pair[0])
+    service.register("right", fitted_pair[1])
+    service.start()
+
+    stop_at = [False]
+    tickets_per_thread: list = []
+    refused = [0] * 4
+    errors: list = []
+
+    def submitter(slot: int) -> None:
+        local: list = []
+        tickets_per_thread.append(local)
+        i = slot
+        while not stop_at[0]:
+            sample = samples[i % len(samples)]
+            key = "left" if i % 2 else "right"
+            deadline = 0.5 if i % 7 == 0 else None
+            try:
+                local.append(service.submit(sample, key=key, deadline=deadline))
+            except (OverloadError, CircuitOpenError):
+                refused[slot] += 1
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+                return
+            i += 4
+
+    threads = [
+        threading.Thread(target=submitter, args=(slot,)) for slot in range(4)
+    ]
+    timer = threading.Timer(STRESS_SECONDS, lambda: stop_at.__setitem__(0, True))
+    timer.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    timer.cancel()
+
+    watchdog_extend(120.0)  # fresh budget for the drain + join phase
+    service.drain(timeout=60.0)
+    stats = service.stats()
+    service.stop(timeout=60.0)
+
+    assert not errors, errors
+    tickets = [t for local in tickets_per_thread for t in local]
+    assert len(tickets) > 0
+    # Ticket conservation: every accepted submission resolved one way.
+    for ticket in tickets:
+        assert ticket._event.is_set(), (
+            f"ticket {ticket.request.request_id} hung after drain+stop"
+        )
+        assert ticket.done != ticket.failed
+    assert stats.requests_submitted == len(tickets) + sum(refused)
+    assert stats.requests_submitted == (
+        stats.requests_completed
+        + stats.requests_failed
+        + stats.rejected
+        + stats.requests_pending
+    )
+    assert stats.requests_pending == 0
+    assert stats.rejected == sum(refused)
+    # The soak actually exercised the machinery it claims to.
+    assert stats.num_flushes > 0
+    assert injector.fired_count() > 0
