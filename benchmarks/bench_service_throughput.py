@@ -85,6 +85,27 @@ OVERLOAD_REJECT_BUDGET = 1e-3
 OVERLOAD_THROUGHPUT_FLOOR = 0.8
 OVERLOAD_SMOKE_THROUGHPUT_FLOOR = 0.7
 
+#: Multi-process scenario (the PR-10 tentpole): the fine-tune is
+#: CPU-bound numpy/scipy holding the GIL, so threaded workers serialize
+#: on compute; worker *processes* must actually scale it.  Traffic
+#: spreads over PROCESS_KEYS keys with distinct (float-identical)
+#: encoder clones, because flushes single-flight per key and per
+#: pipeline — multi-key traffic is what a fleet parallelizes.  The
+#: >= 1.5x-threaded gate only binds where the host can physically show
+#: it (``os.cpu_count() >= PROCESS_MIN_CORES``); smaller hosts record
+#: a waiver in the artifact instead of a vacuous failure.  Smoke uses
+#: a loose floor — there it is a correctness/liveness check, not a
+#: scaling claim.
+PROCESS_WORKERS = 4
+PROCESS_KEYS = 4
+PROCESS_MIN_SPEEDUP_VS_THREAD = 1.5
+PROCESS_MIN_CORES = 4
+PROCESS_SMOKE_FLOOR = 0.2
+#: Accepted p95 must stay within a slack factor of the threaded p95 —
+#: crossing the pipe may not wreck tail latency.
+PROCESS_P95_FACTOR = 2.0
+PROCESS_P95_SLACK_SECONDS = 0.25
+
 
 def _fitted_encoder(num_qubits: int, num_samples: int):
     # PCA requires at least 2**num_qubits samples.
@@ -417,6 +438,186 @@ def run_overload_scenario(
     }
 
 
+# -- multi-process fleet ---------------------------------------------------------------
+
+
+def _cloned_encoders(encoder, count: int) -> list:
+    """Distinct encoder objects with bit-identical numerics.
+
+    The JSON bundle roundtrip is float-exact, and each clone owns its
+    own pipeline — so multi-key traffic over the clones can flush
+    concurrently (single-flight is per key *and* per pipeline) while
+    every response stays comparable to the original encoder."""
+    from repro.core.serialization import encoder_from_dict, encoder_to_dict
+
+    payload = encoder_to_dict(encoder)
+    return [
+        encoder_from_dict(payload, encoder.backend) for _ in range(count)
+    ]
+
+
+def _keyed_service(backend_name, encoders, keys, window, workers):
+    service = EncodingService(
+        max_batch=window, backend=backend_name, workers=workers
+    )
+    for key, clone in zip(keys, encoders):
+        service.register(key, clone)
+    return service
+
+
+def _timed_keyed_stream(service, samples, keys) -> tuple:
+    """Round-robin the samples over the keys; wall-clock to drained."""
+    start = time.perf_counter()
+    tickets = [
+        service.submit(x, key=keys[i % len(keys)])
+        for i, x in enumerate(samples)
+    ]
+    service.drain(timeout=600.0)
+    elapsed = time.perf_counter() - start
+    return elapsed, tickets
+
+
+def run_process_scenario(
+    num_qubits: int,
+    num_samples: int = NUM_SAMPLES,
+    window: int = 8,
+    workers: int = PROCESS_WORKERS,
+    num_keys: int = PROCESS_KEYS,
+) -> dict:
+    """Threaded vs process fleet on identical multi-key traffic.
+
+    Fleet spawn is excluded from the timing (it is a once-per-deploy
+    cost) and each backend is warmed with one flush per key first, so
+    the comparison is steady-state serving throughput.  The process
+    responses are additionally checked float-bit identical to an
+    ``encode_batch`` replay of the same per-key flush partition — the
+    wire crossing must be invisible."""
+    import os
+
+    encoder, samples = _fitted_encoder(num_qubits, num_samples)
+    keys = [f"bench-{i}" for i in range(num_keys)]
+    warm = samples[:num_keys]
+    results = {}
+    tickets_by_backend = {}
+    for backend_name in ("thread", "process"):
+        service = _keyed_service(
+            backend_name,
+            _cloned_encoders(encoder, num_keys),
+            keys,
+            window,
+            workers,
+        )
+        with service:
+            # Warm every key (template caches on both sides of the
+            # boundary) outside the timed window.
+            for key, x in zip(keys, warm):
+                service.submit(x, key=key)
+            service.drain(timeout=600.0)
+            elapsed, tickets = _timed_keyed_stream(service, samples, keys)
+            stats = service.stats()
+        results[backend_name] = {
+            "seconds": elapsed,
+            "samples_per_sec": num_samples / elapsed,
+            "p95_latency_ms": stats.p95_latency * 1e3,
+        }
+        tickets_by_backend[backend_name] = (service, tickets)
+
+    # Correctness: process responses grouped by (key, flush_id) replay
+    # bit-identically through a synchronous encode_batch.
+    service, tickets = tickets_by_backend["process"]
+    groups: dict = {}
+    for ticket in tickets:
+        response = ticket.response
+        groups.setdefault((response.key, response.flush_id), []).append(
+            (response, ticket.request.sample)
+        )
+    replay_identical = True
+    for (key, _fid), group in groups.items():
+        reference = service.registry.get(key).encode_batch(
+            np.stack([sample for _, sample in group])
+        )
+        for (response, _), ref in zip(group, reference):
+            if not (
+                response.cluster_index == ref.cluster_index
+                and np.array_equal(response.encoded.theta, ref.theta)
+                and response.encoded.ideal_fidelity == ref.ideal_fidelity
+            ):
+                replay_identical = False
+
+    # Rejected-submit latency: admission stays an O(1) parent-side
+    # front-door check — a process fleet must not tax the reject path.
+    reject_service = EncodingService(
+        max_batch=window,
+        backend="process",
+        workers=2,
+        max_pending_per_key=window,
+        overload_policy="reject",
+    )
+    for key, clone in zip(keys[:1], _cloned_encoders(encoder, 1)):
+        reject_service.register(key, clone)
+    reject_seconds: list = []
+    with reject_service:
+        offered = 0
+        while len(reject_seconds) < 32 and offered < 64 * window:
+            call_start = time.perf_counter()
+            try:
+                reject_service.submit(
+                    samples[offered % len(samples)], key=keys[0]
+                )
+            except OverloadError:
+                reject_seconds.append(time.perf_counter() - call_start)
+            offered += 1
+        reject_service.drain(timeout=600.0)
+    median_reject = (
+        float(np.median(reject_seconds)) if reject_seconds else float("nan")
+    )
+
+    thread_row = results["thread"]
+    process_row = results["process"]
+    speedup = thread_row["seconds"] / process_row["seconds"]
+    cpu_count = os.cpu_count() or 1
+    p95_budget_ms = (
+        max(
+            PROCESS_P95_FACTOR * thread_row["p95_latency_ms"],
+            thread_row["p95_latency_ms"]
+            + PROCESS_P95_SLACK_SECONDS * 1e3,
+        )
+    )
+    return {
+        "num_qubits": num_qubits,
+        "num_samples": num_samples,
+        "num_keys": num_keys,
+        "workers": workers,
+        "batch_window": window,
+        "cpu_count": cpu_count,
+        "threaded_seconds": thread_row["seconds"],
+        "threaded_samples_per_sec": thread_row["samples_per_sec"],
+        "threaded_p95_latency_ms": thread_row["p95_latency_ms"],
+        "process_seconds": process_row["seconds"],
+        "process_samples_per_sec": process_row["samples_per_sec"],
+        "process_p95_latency_ms": process_row["p95_latency_ms"],
+        "speedup_vs_threaded": speedup,
+        "replay_identical": bool(replay_identical),
+        "process_p95_budget_ms": p95_budget_ms,
+        "process_p95_within_budget": bool(
+            process_row["p95_latency_ms"] <= p95_budget_ms
+        ),
+        "rejected": len(reject_seconds),
+        "median_reject_ms": median_reject * 1e3,
+        "rejects_fail_fast": bool(
+            reject_seconds and median_reject < OVERLOAD_REJECT_BUDGET
+        ),
+        #: The scaling gate binds only where the host has the cores to
+        #: show it; otherwise the artifact records the waiver.
+        "speedup_gate_applies": bool(cpu_count >= PROCESS_MIN_CORES),
+        "speedup_gate_waived_reason": (
+            None
+            if cpu_count >= PROCESS_MIN_CORES
+            else f"host has {cpu_count} cpu(s) < {PROCESS_MIN_CORES}"
+        ),
+    }
+
+
 def run_benchmark() -> dict:
     return {
         "streaming": {
@@ -433,6 +634,10 @@ def run_benchmark() -> dict:
         #: per scenario, and the gates are capacity-relative anyway.
         "overload": {
             str(GATED_QUBITS): run_overload_scenario(GATED_QUBITS)
+        },
+        #: Process fleet at the gated scale only, for the same reason.
+        "process": {
+            str(GATED_QUBITS): run_process_scenario(GATED_QUBITS)
         },
     }
 
@@ -481,6 +686,25 @@ def publish(results: dict, write_artifact: bool = True) -> None:
                 f"{row['median_reject_ms']:>10.3f} "
                 f"{row['accepted_p95_latency_ms']:>9.1f}"
             )
+    process = results.get("process", {})
+    if process:
+        print(
+            f"{'qubits':>6} {'thread s/s':>11} {'process s/s':>12} "
+            f"{'vs thread':>10} {'p95 ms':>9} {'reject ms':>10}"
+        )
+        for qubits, row in sorted(process.items()):
+            waiver = (
+                ""
+                if row["speedup_gate_applies"]
+                else f"  (gate waived: {row['speedup_gate_waived_reason']})"
+            )
+            print(
+                f"{qubits:>6} {row['threaded_samples_per_sec']:>11.1f} "
+                f"{row['process_samples_per_sec']:>12.1f} "
+                f"{row['speedup_vs_threaded']:>9.2f}x "
+                f"{row['process_p95_latency_ms']:>9.1f} "
+                f"{row['median_reject_ms']:>10.3f}{waiver}"
+            )
     if write_artifact:
         print(f"artifact: {ARTIFACT}")
 
@@ -518,6 +742,19 @@ def test_service_throughput():
             row["accepted_over_baseline"] >= OVERLOAD_THROUGHPUT_FLOOR
         ), row
         assert row["accepted_p95_within_budget"], row
+    # Process-fleet gates: responses cross the wire bit-identically,
+    # rejects stay O(1), tail latency stays bounded, and — where the
+    # host has the cores — 4 workers beat the GIL-bound thread pool.
+    for row in results["process"].values():
+        assert row["replay_identical"], row
+        assert row["rejected"] > 0, row
+        assert row["rejects_fail_fast"], row
+        assert row["process_p95_within_budget"], row
+        if row["speedup_gate_applies"]:
+            assert (
+                row["speedup_vs_threaded"]
+                >= PROCESS_MIN_SPEEDUP_VS_THREAD
+            ), row
 
 
 def smoke() -> None:
@@ -532,6 +769,11 @@ def smoke() -> None:
         "overload": {
             "4q_smoke": run_overload_scenario(
                 4, window=8, seconds=1.0, num_baseline=16
+            )
+        },
+        "process": {
+            "4q_smoke": run_process_scenario(
+                4, num_samples=16, window=4, workers=2, num_keys=2
             )
         },
     }
@@ -556,6 +798,13 @@ def smoke() -> None:
         >= OVERLOAD_SMOKE_THROUGHPUT_FLOOR
     ), overload
     assert overload["accepted_p95_within_budget"], overload
+    process = results["process"]["4q_smoke"]
+    # Smoke is a correctness/liveness check for the fleet, not a
+    # scaling claim: bit-identical replay, fast rejects, and a floor
+    # loose enough for single-core CI runners.
+    assert process["replay_identical"], process
+    assert process["rejects_fail_fast"], process
+    assert process["speedup_vs_threaded"] >= PROCESS_SMOKE_FLOOR, process
     print("service throughput smoke: ok")
 
 

@@ -31,7 +31,13 @@ workflow end to end on the service API:
    :class:`repro.service.FaultInjector` stands in for real failures),
    and the :meth:`~repro.service.ServiceStats.to_metrics` Prometheus
    export a scraper would read;
-5. wire export — ship a flushed batch to another process as a compact
+5. process-pool service — ``backend="process"``: the same control
+   plane over a fleet of worker processes holding float-exact encoder
+   replicas (true multi-core scaling for the CPU-bound fine-tune),
+   keys sharded to workers by stable hash, flush results crossing the
+   pipe as compact wire records — and a fault-injected worker death
+   escalated to a real SIGKILL, survived by requeue + respawn;
+6. wire export — ship a flushed batch to another process as a compact
    :mod:`repro.io` wire record (template fingerprint + bound angles,
    a few hundred bytes per circuit), rehydrate it against a receiving
    registry holding the same bundles, and verify the rebound circuits
@@ -48,6 +54,7 @@ Run:  python examples/deployment_workflow.py
 import pathlib
 import tempfile
 import threading
+import time
 
 import numpy as np
 
@@ -267,6 +274,74 @@ def resilient_service(backend, dataset, model_dir: pathlib.Path) -> None:
             print(f"  metrics: {line}")
 
 
+def process_service(backend, dataset, model_dir: pathlib.Path) -> None:
+    """Serve from a worker-process fleet; kill a worker and recover."""
+    from repro.service import FaultInjector, FaultRule
+
+    # backend="process" keeps the whole thread-backend control plane
+    # (micro-batcher, flusher, tickets, resilience) and moves the
+    # pipeline execution into worker processes, each holding a
+    # float-exact replica of every registered encoder — true multi-core
+    # scaling for the CPU-bound fine-tune, with responses still
+    # float-bit identical to encode_batch.  The extra knobs:
+    #   shard_strategy — "rendezvous" (default; a death moves only the
+    #     dead worker's keys) or "modulo" routing of keys to workers;
+    #   spawn_timeout / handshake_timeout — fleet startup and
+    #     bundle-shipping budgets.
+    # The FaultRule below demonstrates recovery: under this backend an
+    # injected worker death is escalated to a real SIGKILL of the
+    # routed worker process.
+    injector = FaultInjector(
+        [FaultRule("worker", kind="death", times=1, probability=1.0)]
+    )
+    service = EncodingService(
+        max_batch=4,
+        max_delay=0.05,
+        backend="process",
+        workers=2,
+        fault_injector=injector,
+    )
+    for path in sorted(model_dir.glob("enqode_class*.json")):
+        label = int(path.stem.replace("enqode_class", ""))
+        service.load(label, path, backend)
+
+    rng = np.random.default_rng(5)
+    with service:  # spawns the fleet: slow once, then steady-state
+        # Every key routes deterministically to one worker; because all
+        # workers hold all bundles, this is routing only — a dead
+        # worker's keys reroute to survivors instantly.
+        print(f"  shard map over 2 workers: {service.shard_map()}")
+        labels = service.keys()
+        tickets = [
+            service.submit(
+                dataset.class_slice(label)[int(rng.integers(20))],
+                key=label,
+            )
+            for label in labels
+            for _ in range(4)
+        ]
+        service.drain(timeout=120.0)
+        impl = service._backend_impl
+        print(
+            f"  served {len(tickets)} requests across "
+            f"{len(labels)} keys; worker death: SIGKILL delivered "
+            f"({injector.fired_count('worker')} fired), batch requeued "
+            f"in order, no ticket lost"
+        )
+        # Traffic rerouted to the survivor immediately; the replacement
+        # process spawns in the background — wait for it so the fleet
+        # is whole again before shutdown.
+        deadline = time.monotonic() + 60.0
+        while impl.process_respawns < 1 and time.monotonic() < deadline:
+            time.sleep(0.1)
+        respawns = impl.process_respawns
+    done = sum(ticket.done for ticket in tickets)
+    print(
+        f"  recovery: {done}/{len(tickets)} completed, "
+        f"{respawns} worker process(es) respawned"
+    )
+
+
 def wire_export(backend, dataset, model_dir: pathlib.Path) -> None:
     """Export a flushed batch as a wire record and rehydrate it."""
     from repro.io import describe
@@ -339,6 +414,8 @@ def main() -> None:
         async_online_service(backend, dataset, model_dir)
         print("resilient service:")
         resilient_service(backend, dataset, model_dir)
+        print("process-pool service:")
+        process_service(backend, dataset, model_dir)
         print("wire export / rehydrate:")
         wire_export(backend, dataset, model_dir)
 

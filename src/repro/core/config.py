@@ -245,14 +245,26 @@ class ServiceConfig:
         worker pool of ``workers`` threads executing flushes for
         different keys concurrently; the service must be
         ``start()``-ed before submitting and ``stop()``-ed when done.
+        ``"process"`` keeps the same flusher/worker plumbing but
+        executes each flush in one of ``workers`` *worker processes*
+        that own fitted-encoder replicas (bundles shipped at spawn via
+        the JSON serialization, responses returned as the binary wire
+        record and decoded by template rebind — float-bit identical to
+        ``encode_batch``), escaping the GIL for CPU-bound fine-tuning.
+        Requires ``use_template=True`` (the wire response is a
+        template-bound record).
     workers:
-        Worker-pool size for the ``"thread"`` backend (ignored by
-        ``"sync"``).  At most one flush per registry key — and at most
-        one flush per underlying encoder pipeline — is in flight at any
-        time, so a key's requests complete in submission order and every
-        flush is instruction-identical to ``encode_batch`` on the same
-        samples; ``workers`` bounds how many *different* keys encode
-        concurrently.
+        Worker-pool size for the ``"thread"`` and ``"process"``
+        backends (ignored by ``"sync"``).  At most one flush per
+        registry key — and at most one flush per underlying encoder
+        pipeline — is in flight at any time, so a key's requests
+        complete in submission order and every flush is
+        instruction-identical to ``encode_batch`` on the same samples;
+        ``workers`` bounds how many *different* keys encode
+        concurrently.  Under ``"process"`` it is also the process-fleet
+        size: every worker process holds replicas of *all* registered
+        encoders, and ``shard_strategy`` routes each key to one of
+        them.
     max_batch:
         Size trigger: a key's queue reaching this many pending requests
         is flushed immediately.
@@ -325,6 +337,29 @@ class ServiceConfig:
     breaker_reset_timeout:
         Seconds an open breaker waits before allowing the half-open
         probe.
+    shard_strategy:
+        Process backend only: how registry keys map onto worker
+        processes.  ``"rendezvous"`` (default) uses highest-random-
+        weight hashing over the *alive* fleet — when a worker dies only
+        its own keys move, and they move straight to survivors (every
+        process holds every bundle, so rerouting needs no data motion).
+        ``"modulo"`` hashes the key modulo the fleet size and probes
+        forward past dead slots — simpler to reason about, but a death
+        reshuffles more keys.  Both use a stable content hash (never
+        Python's per-process-salted ``hash``), so ``key -> worker`` is
+        reproducible across runs and across the parent/bench tooling.
+    spawn_timeout:
+        Process backend only: seconds to wait for a worker process to
+        come up and complete its ready handshake (covers interpreter
+        start, imports, and deserializing every encoder bundle).
+        Fleet spawn waits this long *per fleet*, respawns this long per
+        replacement worker.
+    handshake_timeout:
+        Process backend only: seconds to wait for a worker's
+        acknowledgement of a control message (e.g. shipping a newly
+        ``register()``-ed bundle to the live fleet).  A worker that is
+        mid-flush finishes that flush first, so size this above the
+        slowest expected flush.
     """
 
     backend: str = "sync"
@@ -342,11 +377,21 @@ class ServiceConfig:
     retry_seed: int = 0
     breaker_threshold: "int | None" = None
     breaker_reset_timeout: float = 30.0
+    shard_strategy: str = "rendezvous"
+    spawn_timeout: float = 60.0
+    handshake_timeout: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.backend not in ("sync", "thread"):
+        if self.backend not in ("sync", "thread", "process"):
             raise ServiceError(
-                f"backend must be 'sync' or 'thread', got {self.backend!r}"
+                f"backend must be 'sync', 'thread' or 'process', "
+                f"got {self.backend!r}"
+            )
+        if self.backend == "process" and not self.use_template:
+            raise ServiceError(
+                "backend='process' requires use_template=True: worker "
+                "responses cross the boundary as template-bound wire "
+                "records"
             )
         if self.workers < 1:
             raise ServiceError("workers must be >= 1")
@@ -375,3 +420,12 @@ class ServiceConfig:
             raise ServiceError("breaker_threshold must be >= 1 (or None)")
         if self.breaker_reset_timeout < 0.0:
             raise ServiceError("breaker_reset_timeout must be non-negative")
+        if self.shard_strategy not in ("rendezvous", "modulo"):
+            raise ServiceError(
+                f"shard_strategy must be 'rendezvous' or 'modulo', "
+                f"got {self.shard_strategy!r}"
+            )
+        if self.spawn_timeout <= 0.0:
+            raise ServiceError("spawn_timeout must be > 0")
+        if self.handshake_timeout <= 0.0:
+            raise ServiceError("handshake_timeout must be > 0")

@@ -69,6 +69,23 @@ class DeadlineExceededError(ServiceError):
     """
 
 
+class RemoteFlushError(ServiceError):
+    """A worker process reported a failure while executing a flush.
+
+    The process backend ships worker-side exceptions back to the parent
+    as ``(type name, message, transient)`` — the original object cannot
+    cross the boundary reliably — and re-raises them as this type.  The
+    ``transient`` attribute mirrors the worker-side exception's, so the
+    service's default transient classifier (and therefore the retry
+    loop and circuit breakers) treats a remote failure exactly like the
+    same failure raised in-process.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
 class CircuitOpenError(ServiceError):
     """Raised when a key's circuit breaker is open.
 

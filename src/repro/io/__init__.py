@@ -48,7 +48,9 @@ from repro.io.wire import (
     dump_batch,
     dump_circuit,
     dump_circuits,
+    dump_encoded_batch,
     load,
+    load_encoded_batch,
 )
 
 __all__ = [
@@ -59,9 +61,11 @@ __all__ = [
     "dump_batch",
     "dump_circuit",
     "dump_circuits",
+    "dump_encoded_batch",
     "format_float",
     "from_qasm",
     "load",
+    "load_encoded_batch",
     "load_qasm",
     "save_qasm",
     "to_qasm",

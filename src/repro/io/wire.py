@@ -35,6 +35,19 @@ Layout (all integers little-endian)::
       per instruction: u8 gate code, u16 per qubit, f64 per param
       (arity/param counts fixed by the gate-code table)
 
+    kind 4 — encoded-batch response (the process backend's flush
+    payload: everything ``EncodePipeline.run_reported`` produced for a
+    batch, minus the target rows — the receiver recomputes those
+    deterministically from the samples it already holds):
+      u32    batch (must match the bound-batch body below)
+      f64[batch] ideal fidelities     u32[batch] cluster indices
+      u32[batch] optimizer iterations u32[batch] optimizer evaluations
+      f64[batch] compile times
+      f64 x4 route/finetune/bind/lower stage seconds
+      u32    template_binds   i8 template_hit (-1 none / 0 miss / 1 hit)
+      then a kind-1 template-bound body verbatim (flags, fingerprint,
+      dims, thetas, optional synthesis section)
+
 Decoding a kind-1 record needs the matching template on the receiving
 side — pass one explicitly or give :func:`load` a ``template_resolver``
 (``EncoderRegistry.rehydrate_wire`` resolves against its registered
@@ -67,11 +80,13 @@ WIRE_SCHEMA_VERSION = 1
 KIND_TEMPLATE_BATCH = 1
 KIND_GATE_STREAM = 2
 KIND_GATE_STREAM_BATCH = 3
+KIND_ENCODED_BATCH = 4
 
 _KIND_NAMES = {
     KIND_TEMPLATE_BATCH: "template-batch",
     KIND_GATE_STREAM: "gate-stream",
     KIND_GATE_STREAM_BATCH: "gate-stream-batch",
+    KIND_ENCODED_BATCH: "encoded-batch",
 }
 
 _FLAG_SYNTHESIS = 0x01
@@ -147,9 +162,17 @@ def dump_batch(
     the decoder rebinds.  ``include_synthesis=True`` inlines the packed
     ZYZ section so decoding never recomputes a synthesis.
     """
+    out = bytearray(_header(KIND_TEMPLATE_BATCH))
+    _encode_template_body(batch, include_synthesis, out)
+    return bytes(out)
+
+
+def _encode_template_body(
+    batch: BoundCircuitBatch, include_synthesis: bool, out: bytearray
+) -> None:
+    """Append a kind-1 template-bound body (shared with kind 4)."""
     thetas = np.ascontiguousarray(batch.thetas, dtype=np.float64)
     num_rows, num_params = thetas.shape
-    out = bytearray(_header(KIND_TEMPLATE_BATCH))
     out += struct.pack(
         "<B16sHII",
         _FLAG_SYNTHESIS if include_synthesis else 0,
@@ -172,6 +195,66 @@ def dump_batch(
                     out += struct.pack("<B", _gate_code(name))
                     if params:
                         out += struct.pack(f"<{len(params)}d", *params)
+
+
+def dump_encoded_batch(
+    encoded, report, *, include_synthesis: bool = True
+) -> bytes:
+    """Encode one flush's full ``run_reported`` outcome as a response
+    record (kind 4): per-sample metadata + stage report + the bound
+    batch.
+
+    Every sample must be a template-path :class:`~repro.core.pipeline.
+    EncodedSample` whose circuits are rows of one
+    :class:`BoundCircuitBatch` — exactly what a ``use_template=True``
+    flush produces.  The default ``include_synthesis=True`` trades ~3x
+    payload for a zero-recompute decode: the process backend's parent
+    side reconstructs the batch from the packed arrays instead of
+    rebinding, keeping response decode off the hot path's flop budget.
+    Target rows deliberately do not cross the wire — the decoder's
+    caller recomputes them (``EncodePipeline.prepare`` is deterministic)
+    from the samples it already has, halving the payload.
+    """
+    encoded = list(encoded)
+    if not encoded:
+        raise SerializationError("cannot encode an empty flush response")
+    circuits = [sample.transpiled.circuit for sample in encoded]
+    if not all(isinstance(c, BoundCircuit) for c in circuits) or len(
+        {id(c.bound_batch) for c in circuits}
+    ) != 1:
+        raise SerializationError(
+            "encoded-batch records need template-path samples (rows of "
+            "one BoundCircuitBatch); this batch was lowered per-sample "
+            "(use_template=False?)"
+        )
+    batch = circuits[0].bound_batch.take([c.bound_row for c in circuits])
+    out = bytearray(_header(KIND_ENCODED_BATCH))
+    out += struct.pack("<I", len(encoded))
+    out += np.asarray(
+        [sample.ideal_fidelity for sample in encoded], dtype="<f8"
+    ).tobytes()
+    out += np.asarray(
+        [sample.cluster_index for sample in encoded], dtype="<u4"
+    ).tobytes()
+    out += np.asarray(
+        [sample.optimizer_iterations for sample in encoded], dtype="<u4"
+    ).tobytes()
+    out += np.asarray(
+        [sample.optimizer_evaluations for sample in encoded], dtype="<u4"
+    ).tobytes()
+    out += np.asarray(
+        [sample.compile_time for sample in encoded], dtype="<f8"
+    ).tobytes()
+    out += struct.pack(
+        "<4dIb",
+        report.route_seconds,
+        report.finetune_seconds,
+        report.bind_seconds,
+        report.lower_seconds,
+        report.template_binds,
+        -1 if report.template_hit is None else int(report.template_hit),
+    )
+    _encode_template_body(batch, include_synthesis, out)
     return bytes(out)
 
 
@@ -365,12 +448,88 @@ def _decode_circuit_body(cursor: _Cursor) -> QuantumCircuit:
     return QuantumCircuit.trusted(num_qubits, name, instructions)
 
 
+def load_encoded_batch(
+    data: bytes, *, template=None, template_resolver=None, targets=None
+):
+    """Decode a kind-4 encoded-batch record back into
+    ``(list[EncodedSample], PipelineRunReport)`` — ``run_reported``'s
+    return contract, reconstructed on the receiving side.
+
+    Thetas, fidelities, cluster indices, and the optional synthesis
+    section cross as raw little-endian arrays, and each sample's
+    ``transpiled`` result is rebuilt through the *same*
+    ``template._wrap_result(bound.circuit(row))`` call ``bind_batch``
+    makes, so the decoded samples are float-bit identical to the
+    sender's.  ``targets`` (the ``(B, 2**n)`` prepared amplitude rows,
+    which never cross the wire) fills each sample's ``target``; pass
+    the output of ``pipeline.prepare(samples)`` — deterministic, so it
+    equals the sender's — or ``None`` to leave targets unset.
+    """
+    from repro.core.pipeline import EncodedSample, PipelineRunReport
+
+    cursor = _Cursor(bytes(data))
+    kind = _check_header(cursor)
+    if kind != KIND_ENCODED_BATCH:
+        raise SerializationError(
+            f"expected an encoded-batch record, got kind "
+            f"{_KIND_NAMES.get(kind, kind)!r}"
+        )
+    (batch_size,) = cursor.unpack("<I")
+    fidelities = np.frombuffer(cursor.take(batch_size * 8), dtype="<f8")
+    clusters = np.frombuffer(cursor.take(batch_size * 4), dtype="<u4")
+    iterations = np.frombuffer(cursor.take(batch_size * 4), dtype="<u4")
+    evaluations = np.frombuffer(cursor.take(batch_size * 4), dtype="<u4")
+    compile_times = np.frombuffer(cursor.take(batch_size * 8), dtype="<f8")
+    route_s, tune_s, bind_s, lower_s, template_binds, hit = cursor.unpack(
+        "<4dIb"
+    )
+    bound = _decode_template_batch(cursor, template, template_resolver)
+    if bound.batch_size != batch_size:
+        raise SerializationError(
+            f"encoded-batch metadata covers {batch_size} samples but the "
+            f"bound batch has {bound.batch_size} rows"
+        )
+    if targets is not None and len(targets) != batch_size:
+        raise SerializationError(
+            f"targets has {len(targets)} rows for a {batch_size}-sample "
+            "record"
+        )
+    template = bound.template
+    encoded = [
+        EncodedSample(
+            target=None if targets is None else targets[row],
+            theta=bound.thetas[row],
+            cluster_index=int(clusters[row]),
+            ideal_fidelity=float(fidelities[row]),
+            transpiled=template._wrap_result(bound.circuit(row)),
+            compile_time=float(compile_times[row]),
+            optimizer_iterations=int(iterations[row]),
+            optimizer_evaluations=int(evaluations[row]),
+            ansatz=template.ansatz,
+            logical=None,
+        )
+        for row in range(batch_size)
+    ]
+    report = PipelineRunReport(
+        batch_size=batch_size,
+        route_seconds=route_s,
+        finetune_seconds=tune_s,
+        bind_seconds=bind_s,
+        lower_seconds=lower_s,
+        template_binds=template_binds,
+        template_hit=None if hit < 0 else bool(hit),
+    )
+    return encoded, report
+
+
 def load(data: bytes, *, template=None, template_resolver=None):
     """Decode a wire blob produced by any ``dump_*`` function.
 
     Returns a :class:`BoundCircuitBatch` for template-bound records, a
     :class:`QuantumCircuit` for single gate streams, and a list of
-    circuits for gate-stream batches.
+    circuits for gate-stream batches.  Encoded-batch response records
+    carry pipeline metadata on top of the circuits and decode through
+    :func:`load_encoded_batch` instead.
     """
     cursor = _Cursor(bytes(data))
     kind = _check_header(cursor)
@@ -385,6 +544,12 @@ def load(data: bytes, *, template=None, template_resolver=None):
         circuits = [_decode_circuit_body(cursor) for _ in range(count)]
         cursor.done()
         return circuits
+    if kind == KIND_ENCODED_BATCH:
+        raise SerializationError(
+            "encoded-batch response records decode with "
+            "load_encoded_batch() (they return samples + a report, "
+            "not bare circuits)"
+        )
     raise SerializationError(f"unknown wire record kind {kind}")
 
 
@@ -414,4 +579,20 @@ def describe(data: bytes) -> dict:
     elif kind == KIND_GATE_STREAM_BATCH:
         (count,) = cursor.unpack("<I")
         info.update(num_circuits=count)
+    elif kind == KIND_ENCODED_BATCH:
+        (count,) = cursor.unpack("<I")
+        # Skip the per-sample metadata block + stage report to reach
+        # the embedded template-bound body's own header fields.
+        cursor.take(count * (8 + 4 + 4 + 4 + 8))
+        cursor.unpack("<4dIb")
+        flags, fingerprint, num_qubits, num_rows, num_params = cursor.unpack(
+            "<B16sHII"
+        )
+        info.update(
+            fingerprint=fingerprint.hex(),
+            num_qubits=num_qubits,
+            num_circuits=num_rows,
+            num_params=num_params,
+            includes_synthesis=bool(flags & _FLAG_SYNTHESIS),
+        )
     return info

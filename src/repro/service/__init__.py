@@ -20,6 +20,11 @@ package is that serving surface:
   follow-up traffic plus a worker pool flushing different keys
   concurrently, with one flush in flight per key so responses stay
   instruction-identical to the synchronous path;
+* :class:`ProcessBackend` — the ``backend="process"`` engine: the same
+  control plane over a fleet of worker *processes* holding
+  float-exact encoder replicas, keys sharded by stable hash, flush
+  batches and kind-4 wire responses crossing a pipe per worker, and
+  SIGKILL-level death survived by requeue + respawn;
 * :mod:`repro.service.resilience` — the hardening layer: a seeded
   :class:`FaultInjector` chaos harness, per-key
   :class:`CircuitBreaker`, and :class:`RetryPolicy` backoff, composed
@@ -35,6 +40,7 @@ service results are numerically identical to the big-batch path.
 from repro.core.config import ServiceConfig
 from repro.service.async_service import ThreadBackend
 from repro.service.batcher import MicroBatcher
+from repro.service.process_backend import ProcessBackend
 from repro.service.records import EncodeRequest, EncodeResponse, ServiceStats
 from repro.service.registry import EncoderRegistry
 from repro.service.resilience import (
@@ -61,6 +67,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "MicroBatcher",
+    "ProcessBackend",
     "RetryPolicy",
     "ServiceConfig",
     "ServiceStats",

@@ -41,11 +41,12 @@ the zombie worker — which cannot be killed mid-pipeline — discards its
 late result through a task-id handshake
 (:meth:`ThreadBackend.consume_abandoned`) instead of double-counting.
 
-*Worker death is survivable.*  An injected
-:class:`~repro.service.resilience.WorkerDeath` (fired only *before* the
-flush body runs) requeues the untouched batch at the head of the task
+*Worker death is survivable.*  A
+:class:`~repro.service.resilience.WorkerDeath` — injected before the
+flush body runs, or raised by the process backend when a worker
+*process* dies mid-flush — requeues the batch at the head of the task
 queue with its in-flight marks kept — ordering holds — and spawns a
-replacement thread before the dying one exits.
+replacement before the dying worker exits.
 
 All mutable state (queues, tickets, in-flight marks, stats) is guarded
 by the owning service's single lock; both condition variables share it,
@@ -87,6 +88,11 @@ class ThreadBackend:
     variables below are views onto it, so batcher/ticket/stats access
     and backend scheduling state always change under one mutex.
     """
+
+    #: Does this backend execute flush pipelines itself (worker
+    #: processes) instead of running them in-process?  When True,
+    #: ``EncodingService._run_pipeline`` routes to ``run_pipeline``.
+    owns_execution = False
 
     def __init__(self, service, workers: int) -> None:
         self.service = service
@@ -310,6 +316,24 @@ class ThreadBackend:
         """
         self.service._reject_all_pending()
 
+    def on_register(self, key, encoder) -> None:
+        """Hook: an encoder was (re)registered on the owning service.
+
+        The thread backend shares the service's registry in-process, so
+        there is nothing to do; the process backend overrides this to
+        ship the bundle to every live worker.
+        """
+
+    def _on_worker_death(self, key) -> None:
+        """Hook: an *injected* ``kind="death"`` fault fired for ``key``.
+
+        For threads the death is purely simulated (the thread exits and
+        a replacement spawns — the generic requeue path below).  The
+        process backend overrides this to make the simulation real:
+        SIGKILL the worker process currently routed for ``key`` and
+        respawn it, so chaos tests exercise genuine process death.
+        """
+
     def consume_abandoned(self, task_id: int) -> bool:
         """Atomically check-and-clear a task's abandoned mark.
 
@@ -407,7 +431,12 @@ class ThreadBackend:
         """Hand every triggered, non-busy key's batch to the worker pool."""
         service = self.service
         batcher = service.batcher
-        due = set(batcher.due_keys(now))
+        # Busy keys are excluded at the source (same contract as the
+        # next_deadline sleep below) instead of collected-then-skipped:
+        # an overdue-but-busy key is not "due", it is waiting for its
+        # in-flight flush, whose completion re-runs this dispatch.
+        undispatchable = self._undispatchable_keys()
+        due = set(batcher.due_keys(now, exclude=undispatchable))
         dispatched = False
         for key in list(batcher.pending_keys()):
             if key in self._inflight_keys:
@@ -424,7 +453,10 @@ class ThreadBackend:
             pipeline_id = self._pipeline_id(key)
             if pipeline_id in self._inflight_pipelines:
                 continue  # shares an encoder with a busy key: next round
-            requests = batcher.drain(key)  # caps at max_batch
+            # Caps at max_batch live requests; deadline-expired
+            # stragglers anywhere in the queue ride along and are
+            # failed by the flush's expiry sweep.
+            requests = batcher.drain(key, now=now)
             if not requests:
                 continue
             task_id = next(self._task_ids)
@@ -502,18 +534,29 @@ class ThreadBackend:
                         service.fault_injector.fire("worker")
                 except WorkerDeath:
                     died = True
+                    # Make injected death real under a process fleet:
+                    # SIGKILL + respawn of the worker serving this key
+                    # (no-op for threads).
+                    self._on_worker_death(key)
                 except Exception:
                     # Non-death worker-site faults (latency already
                     # slept inside fire) have nothing to poison here;
                     # the flush body has its own sites.  Run normally.
                     pass
                 if not died:
-                    # reraise=False: the flush routes its exception into
-                    # the affected tickets; nothing may escape and kill
-                    # the pool.
-                    service._execute_flush(
-                        key, requests, reraise=False, task_id=task_id
-                    )
+                    try:
+                        # reraise=False: the flush routes its exception
+                        # into the affected tickets; nothing may escape
+                        # and kill the pool.
+                        service._execute_flush(
+                            key, requests, reraise=False, task_id=task_id
+                        )
+                    except WorkerDeath:
+                        # A worker *process* died under this batch
+                        # (already marked dead + respawning by
+                        # run_pipeline); requeue exactly like a local
+                        # death.
+                        died = True
             finally:
                 with self._work:
                     self._running.pop(task_id, None)

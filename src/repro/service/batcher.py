@@ -55,7 +55,7 @@ class MicroBatcher:
 
     # -- flush triggers ------------------------------------------------------------
 
-    def due_keys(self, now: float) -> list:
+    def due_keys(self, now: float, exclude=()) -> list:
         """Keys with an expired trigger: queue deadline or request deadline.
 
         A key is due when its oldest request has waited ``max_delay``,
@@ -67,11 +67,15 @@ class MicroBatcher:
         (``>=``), so a flusher that slept precisely until
         :meth:`next_deadline` always finds the key it woke for — never
         a zero-second re-sleep loop.  ``max_delay == 0.0`` means "due
-        at the first opportunity".
+        at the first opportunity".  Keys in ``exclude`` (same contract
+        as :meth:`next_deadline`: a flush already in flight, whose
+        completion re-triggers dispatch anyway) are never reported due,
+        so a busy key is filtered once here rather than re-collected
+        and re-skipped by every flusher wakeup.
         """
         due = []
         for key, queue in self._queues.items():
-            if not queue:
+            if not queue or key in exclude:
                 continue
             if (
                 self.max_delay is not None
@@ -117,12 +121,29 @@ class MicroBatcher:
 
     # -- drain ---------------------------------------------------------------------
 
-    def drain(self, key) -> list[EncodeRequest]:
-        """Remove and return up to ``max_batch`` oldest requests for ``key``."""
+    def drain(self, key, now: "float | None" = None) -> list[EncodeRequest]:
+        """Remove and return up to ``max_batch`` oldest requests for ``key``.
+
+        With ``now`` given, deadline-expired requests are also culled
+        from *any* queue position and returned alongside the batch:
+        an expired request queued behind a full batch must not survive
+        the flush and wait a whole extra flush cycle — the flush's
+        expiry sweep (:meth:`EncodingService._expire_requests`) fails
+        its ticket immediately instead.  The flushed batch itself
+        therefore stays <= ``max_batch`` *live* requests: culled
+        stragglers never reach the pipeline.  ``now=None`` (e.g. a
+        shutdown drain that rejects everything) keeps the classic
+        oldest-``max_batch`` slice.
+        """
         queue = self._queues.get(key)
         if not queue:
             return []
         batch = [queue.popleft() for _ in range(min(len(queue), self.max_batch))]
+        if now is not None and queue and any(r.expired(now) for r in queue):
+            batch.extend(r for r in queue if r.expired(now))
+            survivors = [r for r in queue if not r.expired(now)]
+            queue.clear()
+            queue.extend(survivors)
         if not queue:
             del self._queues[key]
         return batch

@@ -58,13 +58,17 @@ class InjectedFault(ReproError):
 
 
 class WorkerDeath(Exception):
-    """Injected worker-thread death (site ``"worker"`` only).
+    """A flush's executing worker died (injected, or a real process).
 
     Deliberately *not* a :class:`~repro.errors.ReproError`: it models
-    the thread itself dying, not the flush failing, and must only be
-    raised before the flush body runs — the backend's worker loop
-    requeues the untouched batch at the head of the queue, spawns a
-    replacement thread, and lets this one exit.
+    the worker itself dying, not the flush failing.  Two sources raise
+    it: the ``"worker"`` fault site before the flush body runs (thread
+    backend: the simulated classic), and the process backend's
+    ``run_pipeline`` on a real worker-process death (SIGKILL'd by an
+    injected ``kind="death"``, or genuinely crashed) detected as a
+    broken pipe mid-flush.  Either way the backend's worker loop
+    requeues the batch at the head of the queue — FIFO order, and
+    hence numerics, preserved — and a replacement spawns.
     """
 
 
@@ -100,7 +104,9 @@ class FaultRule:
         if self.kind == "death" and self.site != "worker":
             raise ServiceError(
                 "kind='death' only makes sense at site 'worker' (it "
-                "models the worker thread dying, not a stage failing)"
+                "models the worker dying, not a stage failing; under "
+                "the process backend it SIGKILLs the routed worker "
+                "process)"
             )
         if not 0.0 <= self.probability <= 1.0:
             raise ServiceError("probability must be in [0, 1]")

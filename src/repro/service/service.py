@@ -78,6 +78,7 @@ from repro.service.registry import EncoderRegistry
 from repro.service.resilience import (
     CircuitBreaker,
     RetryPolicy,
+    WorkerDeath,
     default_transient_classifier,
 )
 
@@ -223,6 +224,9 @@ class EncodingService:
         retry_seed: int = 0,
         breaker_threshold: "int | None" = None,
         breaker_reset_timeout: float = 30.0,
+        shard_strategy: str = "rendezvous",
+        spawn_timeout: float = 60.0,
+        handshake_timeout: float = 30.0,
         clock=time.monotonic,
         fault_injector=None,
         transient_classifier=None,
@@ -245,6 +249,9 @@ class EncodingService:
                 retry_seed=retry_seed,
                 breaker_threshold=breaker_threshold,
                 breaker_reset_timeout=breaker_reset_timeout,
+                shard_strategy=shard_strategy,
+                spawn_timeout=spawn_timeout,
+                handshake_timeout=handshake_timeout,
             )
         self.config = config
         self.registry = registry if registry is not None else EncoderRegistry()
@@ -303,11 +310,17 @@ class EncodingService:
         self._retries = 0
         self._breaker_opens = 0
         self._deadline_expired = 0
-        self._backend_impl = (
-            ThreadBackend(self, config.workers)
-            if config.backend == "thread"
-            else None
-        )
+        if config.backend == "thread":
+            self._backend_impl = ThreadBackend(self, config.workers)
+        elif config.backend == "process":
+            # Imported lazily: the process backend pulls in the wire
+            # codec and multiprocessing, which sync/thread services
+            # never need.
+            from repro.service.process_backend import ProcessBackend
+
+            self._backend_impl = ProcessBackend(self, config.workers)
+        else:
+            self._backend_impl = None
 
     # -- registry passthroughs -----------------------------------------------------
 
@@ -315,6 +328,8 @@ class EncodingService:
         """Register a fitted encoder under ``key``."""
         encoder = self.registry.register(key, encoder)
         self._attach_injector(encoder)
+        if self._backend_impl is not None:
+            self._backend_impl.on_register(key, encoder)
         return encoder
 
     def load(
@@ -323,6 +338,8 @@ class EncodingService:
         """Load a versioned model bundle into the ``key`` slot."""
         encoder = self.registry.load(key, path, backend)
         self._attach_injector(encoder)
+        if self._backend_impl is not None:
+            self._backend_impl.on_register(key, encoder)
         return encoder
 
     def _attach_injector(self, encoder: EnQodeEncoder) -> None:
@@ -355,6 +372,23 @@ class EncodingService:
         if self._backend_impl is None:
             return True
         return self._backend_impl.running
+
+    def shard_map(self) -> dict:
+        """``key -> worker index`` routing of the process fleet.
+
+        Process backend only: answers which worker process currently
+        serves each registered key under the configured
+        ``shard_strategy`` (over the *alive* fleet, so it reflects any
+        in-progress death/respawn).  Other backends have no shards and
+        raise :class:`ServiceError`.
+        """
+        backend_impl = self._backend_impl
+        if backend_impl is None or not hasattr(backend_impl, "shard_map"):
+            raise ServiceError(
+                f"shard_map() requires backend='process', "
+                f"this service runs backend={self.config.backend!r}"
+            )
+        return backend_impl.shard_map()
 
     def start(self) -> "EncodingService":
         """Start the thread backend's flusher + workers (sync: no-op)."""
@@ -615,20 +649,33 @@ class EncodingService:
                 "the thread backend is not running"
             )
         # One absolute deadline spans the forced flush *and* the event
-        # wait, so the documented bound holds end to end (not 2x).
-        deadline = None if timeout is None else time.monotonic() + timeout
+        # wait, so the documented bound holds end to end (not 2x).  The
+        # arithmetic runs on the injectable service clock, not a
+        # hard-coded time.monotonic(), so fake-clock tests can advance
+        # time past the deadline and observe expiry deterministically.
+        deadline = None if timeout is None else self.clock() + timeout
         if (
             flush
             and not ticket._event.is_set()
             and self._backend_impl.running
         ):
             self._backend_impl.flush_key(ticket.request.key, timeout=timeout)
-        remaining = (
-            None
-            if deadline is None
-            else max(deadline - time.monotonic(), 0.0)
-        )
-        if not ticket._event.wait(remaining):
+        if deadline is None:
+            served = ticket._event.wait()
+        elif self.clock is time.monotonic:
+            # Real clock: one event wait covers the remaining budget.
+            served = ticket._event.wait(max(deadline - self.clock(), 0.0))
+        else:
+            # Injected clock: the event wait can only block in real
+            # time, so poll it in short real slices while re-reading
+            # the fake clock — a test advancing the clock (before the
+            # call or concurrently) sees expiry without real sleeping
+            # through the nominal timeout.
+            served = ticket._event.is_set()
+            while not served and self.clock() < deadline:
+                served = ticket._event.wait(0.005)
+            served = served or ticket._event.is_set()
+        if not served:
             raise ServiceError(
                 f"request {ticket.request.request_id} was not served "
                 f"within {timeout}s"
@@ -741,7 +788,7 @@ class EncodingService:
     def _flush_key(self, key) -> list[EncodeResponse]:
         """Sync-backend flush: drain and execute on the calling thread."""
         with self._lock:
-            requests = self.batcher.drain(key)
+            requests = self.batcher.drain(key, now=self.clock())
         return self._execute_flush(key, requests, reraise=True)
 
     def _expire_requests(self, requests: list) -> list:
@@ -823,11 +870,19 @@ class EncodingService:
                 # The same stage objects encode/encode_batch execute — a
                 # flush of B requests is numerically identical to
                 # encode_batch on them (one vectorized template
-                # bind_batch sweep per flush).
-                encoded, report = pipeline.run_reported(
-                    samples, use_template=self.use_template
+                # bind_batch sweep per flush).  A backend that owns
+                # execution (process fleet) routes the run to a worker
+                # replica of those same stages instead.
+                encoded, report = self._run_pipeline(
+                    key, pipeline, requests, samples
                 )
                 break
+            except WorkerDeath:
+                # Not a flush failure: the executing worker process died
+                # under this batch.  Propagate to the worker loop, which
+                # requeues the batch at the head (order preserved,
+                # retry/breaker budgets untouched) and respawns.
+                raise
             except Exception as exc:
                 attempt = max(request.attempts for request in requests)
                 if attempt < config.retry_attempts and self.transient_classifier(
@@ -908,6 +963,24 @@ class EncodingService:
                 if ticket is not None:
                     ticket._complete(response)
         return responses
+
+    def _run_pipeline(self, key, pipeline, requests: list, samples):
+        """Execute one flush's pipeline run — locally or on the fleet.
+
+        The seam between the (backend-agnostic) resilience loop above
+        and the execution substrate: sync and thread backends run the
+        registered pipeline in-process; a backend that *owns execution*
+        (``ProcessBackend``) ships ``(key, request_ids, samples)`` to a
+        worker process and decodes the wire-record response.  Either
+        way the return contract is ``encode_batch``'s:
+        ``(list[EncodedSample], PipelineRunReport)``, float-bit
+        identical for identical samples.
+        """
+        backend_impl = self._backend_impl
+        if backend_impl is not None and backend_impl.owns_execution:
+            request_ids = [request.request_id for request in requests]
+            return backend_impl.run_pipeline(key, request_ids, samples)
+        return pipeline.run_reported(samples, use_template=self.use_template)
 
     # -- circuit breakers ----------------------------------------------------------
 

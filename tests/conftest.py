@@ -50,6 +50,12 @@ def pytest_configure(config):
         "stress: long-running soak tests (excluded from tier-1; run "
         "with `pytest -m stress` in the dedicated CI job)",
     )
+    config.addinivalue_line(
+        "markers",
+        "process_backend: tests that spawn worker-process fleets "
+        "(slow interpreter startup; grouped so CI can run them as "
+        "their own job with an extended watchdog)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

@@ -22,6 +22,8 @@ from repro.errors import ServiceError
 from repro.service import (
     EncodeRequest,
     EncodingService,
+    FaultInjector,
+    FaultRule,
     MicroBatcher,
 )
 from repro.service.service import STATS_WINDOW
@@ -397,6 +399,41 @@ def test_injectable_clock_deadline_determinism(fitted, cluster_data):
         service.poll()  # t=5.0: due exactly at the deadline (>=)
         response = ticket.result(flush=False, timeout=10.0)
     assert response.latency == 5.0  # fake-clock latency is exact
+
+
+def test_overdue_busy_key_neither_wakes_nor_dispatches(fitted, cluster_data):
+    """An overdue key whose flush is already in flight is excluded at
+    the source: ``due_keys`` never reports it, and the flusher's sleep
+    carries no deadline for it — so a busy key cannot zero-timeout-spin
+    the flusher.  The in-flight completion is the wakeup that serves
+    the follow-up."""
+    clock = ManualClock()
+    injector = FaultInjector(
+        [FaultRule("finetune", kind="latency", latency=0.4, times=1)]
+    )
+    with EncodingService(
+        max_batch=100,
+        max_delay=1.0,
+        backend="thread",
+        workers=1,
+        clock=clock,
+        fault_injector=injector,
+    ) as service:
+        service.register("a", fitted)
+        first = service.submit(cluster_data[0], key="a")
+        clock.advance(2.0)
+        service.poll()  # due: dispatches; the worker enters a slow flush
+        time.sleep(0.05)  # let the worker claim the task
+        follow_up = service.submit(cluster_data[1], key="a")
+        clock.advance(5.0)  # follow-up long overdue — but the key is busy
+        service.poll()  # kick the flusher with the new clock
+        before = service.stats().flusher_wakeups
+        time.sleep(0.15)  # inside the in-flight flush's latency window
+        spin = service.stats().flusher_wakeups - before
+        assert spin <= 2  # no due hit, no armed deadline, no spin
+        assert not follow_up.done  # busy key was not double-dispatched
+        first.result(flush=False, timeout=10.0)
+        follow_up.result(flush=False, timeout=10.0)
 
 
 def test_result_timeout_raises_then_ticket_still_serves(fitted, cluster_data):

@@ -11,6 +11,7 @@ finetune-skipped centroid path.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -194,12 +195,31 @@ def test_sync_chaos_run_is_exactly_replayable(fitted_pair, cluster_data):
 # -- worker death ----------------------------------------------------------------------
 
 
-def test_worker_death_respawns_and_loses_nothing(fitted_pair, cluster_data):
+@pytest.mark.parametrize(
+    "backend",
+    [
+        "thread",
+        pytest.param(
+            "process",
+            marks=[
+                pytest.mark.process_backend,
+                pytest.mark.timeout(300),
+            ],
+        ),
+    ],
+)
+def test_worker_death_respawns_and_loses_nothing(
+    fitted_pair, cluster_data, backend
+):
+    """Injected deaths under both concurrent backends: threads respawn
+    a worker thread; the process backend additionally SIGKILLs and
+    respawns the routed worker *process*.  Either way the batch
+    requeues in order and nothing is lost."""
     injector = FaultInjector(
         [FaultRule("worker", kind="death", times=2, probability=1.0)]
     )
     with EncodingService(
-        backend="thread",
+        backend=backend,
         workers=2,
         max_batch=4,
         max_delay=0.005,
@@ -207,8 +227,20 @@ def test_worker_death_respawns_and_loses_nothing(fitted_pair, cluster_data):
     ) as service:
         service.register("k", fitted_pair[0])
         tickets = [service.submit(x, key="k") for x in cluster_data[:12]]
-        service.drain(timeout=30.0)
+        service.drain(timeout=180.0)
         assert service._backend_impl._respawns == 2
+        if backend == "process":
+            # Both SIGKILLed processes respawn; traffic rerouted to the
+            # survivor in the interim, so no ticket waited on them.
+            deadline = time.monotonic() + 120.0
+            backend_impl = service._backend_impl
+            while (
+                backend_impl.process_respawns < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.1)
+            assert backend_impl.process_respawns >= 2
+            assert backend_impl._respawn_failures == 0
         stats = service.stats()
 
     assert injector.fired_count("worker") == 2

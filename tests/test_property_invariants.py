@@ -214,6 +214,52 @@ def test_service_flush_instruction_identical_to_encode_batch(
         assert list(response.circuit) == list(ref.circuit)
 
 
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize(
+    "backend",
+    [
+        "sync",
+        "thread",
+        pytest.param("process", marks=pytest.mark.process_backend),
+    ],
+)
+@pytest.mark.parametrize("seed", [7, 1234])
+def test_every_backend_agrees_with_encode_batch(
+    online_encoders, backend, seed
+):
+    """Seeded sweep of the cross-backend equivalence: sync, thread, and
+    process serving all produce responses float-bit identical to an
+    ``encode_batch`` replay of the same per-key flush partition.  Plain
+    parametrize, not hypothesis: the process fleet pays a real spawn
+    per example."""
+    encoder, data = online_encoders[(4, 1)]
+    rows = _draw_rows(data, np.random.default_rng(seed), 6)
+    service = EncodingService(max_batch=4, backend=backend, workers=2)
+    service.register("k", encoder)
+    if backend != "sync":
+        service.start()
+    try:
+        tickets = [service.submit(row, key="k") for row in rows]
+        responses = [t.result(timeout=120.0) for t in tickets]
+    finally:
+        if backend != "sync":
+            service.stop()
+    groups: dict = {}
+    for ticket, response in zip(tickets, responses):
+        groups.setdefault(response.flush_id, []).append(
+            (response, ticket.request.sample)
+        )
+    for _fid, group in groups.items():
+        reference = encoder.encode_batch(
+            np.stack([sample for _, sample in group])
+        )
+        for (response, _), ref in zip(group, reference):
+            assert response.cluster_index == ref.cluster_index
+            assert np.array_equal(response.encoded.theta, ref.theta)
+            assert response.encoded.ideal_fidelity == ref.ideal_fidelity
+            assert list(response.circuit) == list(ref.circuit)
+
+
 @given(st.integers(0, 2**31 - 1), st.sampled_from(_VARIANTS))
 def test_duplicate_rows_encode_identically(online_encoders, seed, variant):
     """Degenerate batch: duplicated rows get bit-identical embeddings."""

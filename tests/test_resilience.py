@@ -10,6 +10,9 @@ and the Prometheus metrics export.  The probabilistic chaos runs live
 in test_chaos.py.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -303,6 +306,99 @@ def test_batcher_next_deadline_min_of_queue_and_request():
     # Queue deadline would be 5.0; the request's own 2.0 wins.
     assert batcher.next_deadline() == 2.0
     assert batcher.next_deadline(exclude={"a"}) is None
+
+
+def test_drain_culls_expired_request_beyond_the_batch_window():
+    """Regression: an expired request at position max_batch + 1 must be
+    culled at drain time, not stranded behind the batch window.
+
+    Before the fix, ``drain`` took the first ``max_batch`` requests and
+    left the rest queued — an already-expired straggler at position 5
+    of a 4-wide window survived the drain, kept re-arming the deadline
+    trigger, and its ticket was only failed whenever it eventually
+    aged into a later window."""
+    batcher = MicroBatcher(max_batch=4, max_delay=None)
+    for i in range(4):
+        batcher.add(
+            EncodeRequest(i, "a", np.ones(4), submitted_at=0.0)
+        )
+    batcher.add(
+        EncodeRequest(4, "a", np.ones(4), submitted_at=0.0, deadline=1.0)
+    )
+    drained = batcher.drain("a", now=2.0)
+    # The window's four live requests plus the expired fifth, in order;
+    # the flush's expiry sweep fails the expired one before pipeline
+    # work is spent.
+    assert [r.request_id for r in drained] == [0, 1, 2, 3, 4]
+    assert batcher.pending() == 0
+
+
+def test_drain_without_now_keeps_the_window_contract():
+    """No clock, no cull: drain(key) is exactly the old window slice."""
+    batcher = MicroBatcher(max_batch=2, max_delay=None)
+    for i in range(3):
+        batcher.add(
+            EncodeRequest(i, "a", np.ones(4), submitted_at=0.0, deadline=0.5)
+        )
+    assert [r.request_id for r in batcher.drain("a")] == [0, 1]
+    assert batcher.pending("a") == 1
+
+
+def test_drain_cull_spares_live_stragglers():
+    """The cull takes only *expired* stragglers; live ones stay queued
+    in order for the next window."""
+    batcher = MicroBatcher(max_batch=2, max_delay=None)
+    batcher.add(EncodeRequest(0, "a", np.ones(4), submitted_at=0.0))
+    batcher.add(EncodeRequest(1, "a", np.ones(4), submitted_at=0.0))
+    batcher.add(
+        EncodeRequest(2, "a", np.ones(4), submitted_at=0.0, deadline=1.0)
+    )
+    batcher.add(EncodeRequest(3, "a", np.ones(4), submitted_at=0.0))
+    drained = batcher.drain("a", now=5.0)
+    assert [r.request_id for r in drained] == [0, 1, 2]
+    assert [r.request_id for r in batcher.drain("a")] == [3]
+
+
+def test_due_keys_exclude_skips_busy_keys():
+    """``due_keys(now, exclude=...)`` must not report an excluded key,
+    however overdue — same contract as ``next_deadline(exclude=)``."""
+    batcher = MicroBatcher(max_batch=10, max_delay=1.0)
+    batcher.add(EncodeRequest(0, "a", np.ones(4), submitted_at=0.0))
+    batcher.add(EncodeRequest(1, "b", np.ones(4), submitted_at=0.0))
+    assert batcher.due_keys(5.0) == ["a", "b"]
+    assert batcher.due_keys(5.0, exclude={"a"}) == ["b"]
+    assert batcher.due_keys(5.0, exclude={"a", "b"}) == []
+
+
+def test_result_timeout_routes_through_injected_clock(fitted, cluster_data):
+    """Ticket ``result(timeout=)`` arithmetic runs on the service's
+    injected clock, so timeout expiry is testable deterministically:
+    nothing will ever serve this ticket (no deadline trigger, partial
+    batch, flush=False), and the wait ends exactly when the fake clock
+    jumps past the deadline — not after 5 real seconds."""
+    clock = ManualClock()
+    with EncodingService(
+        max_batch=100, backend="thread", clock=clock
+    ) as service:
+        service.register("a", fitted)
+        ticket = service.submit(cluster_data[0], key="a")
+        # Jump the fake clock past the deadline from a side thread; the
+        # waiting result() call observes it and gives up.
+        timer = threading.Timer(0.05, clock.advance, args=(10.0,))
+        timer.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(ServiceError, match="not served within 5"):
+                ticket.result(flush=False, timeout=5.0)
+        finally:
+            timer.cancel()
+        # The expiry came from the fake clock, not a real 5s sleep.
+        assert time.monotonic() - start < 2.0
+        # Timing out does not consume the ticket: a forced flush still
+        # serves it.
+        assert not ticket.done
+        response = ticket.result(timeout=30.0)
+        assert response.request_id == ticket.request.request_id
 
 
 # -- retries ---------------------------------------------------------------------------
